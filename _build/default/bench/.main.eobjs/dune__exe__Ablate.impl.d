@@ -1,0 +1,1 @@
+bench/ablate.ml: Common Elzar Fault Ir List Printf Workloads

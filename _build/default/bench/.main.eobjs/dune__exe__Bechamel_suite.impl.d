@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Apps Bechamel Benchmark Common Cpu Elzar Fault Hashtbl Instance List Measure Printf Staged Test Time Toolkit Workloads

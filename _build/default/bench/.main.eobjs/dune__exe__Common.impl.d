@@ -1,0 +1,1 @@
+bench/common.ml: Cpu Elzar Hashtbl Ir List Option Printf String Workloads

@@ -1,0 +1,1 @@
+bench/ext.ml: Common List Printf Workloads

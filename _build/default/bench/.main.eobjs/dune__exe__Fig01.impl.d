@@ -1,0 +1,1 @@
+bench/fig01.ml: Apps Common Cpu Elzar List Printf Workloads

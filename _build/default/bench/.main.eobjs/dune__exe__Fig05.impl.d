@@ -1,0 +1,1 @@
+bench/fig05.ml: Common Elzar Ir Option Printf

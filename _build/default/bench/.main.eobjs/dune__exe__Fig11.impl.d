@@ -1,0 +1,1 @@
+bench/fig11.ml: Common Cpu Hashtbl List Option Printf Workloads

@@ -1,0 +1,1 @@
+bench/fig12.ml: Array Common Elzar List Printf Workloads

@@ -1,0 +1,1 @@
+bench/fig13.ml: Common Elzar Fault List Printf Workloads

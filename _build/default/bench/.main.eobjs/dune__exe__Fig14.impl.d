@@ -1,0 +1,1 @@
+bench/fig14.ml: Common List Printf Workloads

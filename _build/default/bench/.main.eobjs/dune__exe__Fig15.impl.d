@@ -1,0 +1,1 @@
+bench/fig15.ml: Apps Common Cpu Elzar List Printf

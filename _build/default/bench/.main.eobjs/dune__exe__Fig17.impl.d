@@ -1,0 +1,1 @@
+bench/fig17.ml: Common Elzar List Printf Workloads

@@ -1,0 +1,1 @@
+bench/floatonly.ml: Common Elzar List Printf Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array Bechamel_suite Common Ext Fig01 Fig05 Fig11 Fig12 Fig13 Fig14 Fig15 Fig17 Floatonly List Printf String Sys Tab02 Tab03 Tab04 Unix Workloads

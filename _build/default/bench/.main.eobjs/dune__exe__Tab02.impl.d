@@ -1,0 +1,1 @@
+bench/tab02.ml: Common Cpu List Printf Workloads

@@ -1,0 +1,1 @@
+bench/tab03.ml: Common Cpu List Printf Workloads

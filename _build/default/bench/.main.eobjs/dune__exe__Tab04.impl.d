@@ -1,0 +1,1 @@
+bench/tab04.ml: Common Cpu Elzar Printf Workloads

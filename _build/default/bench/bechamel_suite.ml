@@ -1,0 +1,69 @@
+(** Bechamel micro-measurements: one [Test.make] per paper table/figure,
+    each wrapping a representative single run of that experiment's
+    simulation, so wall-clock regressions in the harness itself are
+    trackable. *)
+
+open Bechamel
+open Toolkit
+
+let tiny = Workloads.Workload.Tiny
+
+let run_workload name flavour () =
+  let w = Workloads.Registry.find name in
+  ignore
+    (Workloads.Workload.execute w ~build:flavour ~nthreads:2 ~size:tiny : Cpu.Machine.result)
+
+let run_app () =
+  let app = Apps.Registry_apps.find "apache" in
+  ignore
+    (Apps.App.execute app ~build:Elzar.Native ~client:Apps.App.Ab ~nthreads:2
+      : Cpu.Machine.result)
+
+let run_injection () =
+  let w = Workloads.Registry.find "linreg" in
+  let spec = Workloads.Workload.fi_spec w ~build:(Elzar.Hardened Elzar.Harden_config.default) () in
+  ignore (Fault.campaign ~n:2 spec : Fault.stats)
+
+let elzar = Elzar.Hardened Elzar.Harden_config.default
+
+let tests =
+  [
+    Test.make ~name:"fig1:vectorized-native" (Staged.stage (run_workload "smatch" Elzar.Native));
+    Test.make ~name:"fig11:elzar-run" (Staged.stage (run_workload "linreg" elzar));
+    Test.make ~name:"fig12:no-checks-run"
+      (Staged.stage (run_workload "hist" (Elzar.Hardened Elzar.Harden_config.no_checks)));
+    Test.make ~name:"tab2:native-counters" (Staged.stage (run_workload "wc" Elzar.Native));
+    Test.make ~name:"tab3:swiftr-run" (Staged.stage (run_workload "pca" Elzar.Swiftr));
+    Test.make ~name:"fig13:fault-injection" (Staged.stage run_injection);
+    Test.make ~name:"fig14:baseline-pair" (Staged.stage (run_workload "black" Elzar.Swiftr));
+    Test.make ~name:"fig15:case-study" (Staged.stage run_app);
+    Test.make ~name:"tab4:micro-wrapper"
+      (Staged.stage
+         (run_workload "micro-loads-avg" (Elzar.Hardened Elzar.Harden_config.no_checks)));
+    Test.make ~name:"fig17:future-avx"
+      (Staged.stage (run_workload "mmul" (Elzar.Hardened Elzar.Harden_config.future_avx)));
+  ]
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.6) ~kde:(Some 300) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"elzar" tests) in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+  results
+
+let run () =
+  Common.heading "Bechamel: harness wall-clock per experiment kernel (ns/run)";
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun label tbl ->
+      if label = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols ->
+            match Bechamel.Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+            | _ -> Printf.printf "%-28s (no estimate)\n" name)
+          tbl)
+    results

@@ -1,0 +1,88 @@
+(** Shared plumbing for the experiment harness: prepared-module and result
+    caches (so figures can reuse each other's runs), build flavours, and
+    table formatting. *)
+
+let size = ref Workloads.Workload.Medium
+let fi_injections = ref 150
+
+type flavour = {
+  tag : string;
+  build : Elzar.build;
+}
+
+let native = { tag = "native"; build = Elzar.Native }
+let native_novec = { tag = "native-novec"; build = Elzar.Native_novec }
+let elzar = { tag = "elzar"; build = Elzar.Hardened Elzar.Harden_config.default }
+let swiftr = { tag = "swift-r"; build = Elzar.Swiftr }
+
+let elzar_with tag cfg = { tag; build = Elzar.Hardened cfg }
+
+(* ---- caches ---- *)
+
+let prepared_cache : (string, Ir.Instr.modul) Hashtbl.t = Hashtbl.create 64
+let result_cache : (string, Cpu.Machine.result) Hashtbl.t = Hashtbl.create 256
+
+let prepared (w : Workloads.Workload.t) (f : flavour) (size : Workloads.Workload.size) =
+  let key =
+    Printf.sprintf "%s/%s/%s" w.Workloads.Workload.name f.tag
+      (Workloads.Workload.size_to_string size)
+  in
+  match Hashtbl.find_opt prepared_cache key with
+  | Some m -> m
+  | None ->
+      let m = Elzar.prepare f.build (w.Workloads.Workload.build size) in
+      Hashtbl.replace prepared_cache key m;
+      m
+
+(* Runs a workload under a flavour, caching results across figures. *)
+let run ?(nthreads = 16) ?size:size_opt (w : Workloads.Workload.t) (f : flavour) :
+    Cpu.Machine.result =
+  let size = Option.value size_opt ~default:!size in
+  let key =
+    Printf.sprintf "%s/%s/%s/%d" w.Workloads.Workload.name f.tag
+      (Workloads.Workload.size_to_string size)
+      nthreads
+  in
+  match Hashtbl.find_opt result_cache key with
+  | Some r -> r
+  | None ->
+      let m = prepared w f size in
+      let r =
+        Workloads.Workload.execute_prepared w ~prepared:m
+          ~flags_cmp:(Elzar.uses_flags_cmp f.build) ~nthreads ~size
+      in
+      (match r.Cpu.Machine.trap with
+      | Some t ->
+          failwith
+            (Printf.sprintf "bench: %s trapped: %s" key (Cpu.Machine.string_of_trap t))
+      | None -> ());
+      Hashtbl.replace result_cache key r;
+      r
+
+(* Normalized runtime w.r.t. the vectorized native build at the same thread
+   count (the paper's unit). *)
+let norm ?(nthreads = 16) (w : Workloads.Workload.t) (f : flavour) : float =
+  let r = run ~nthreads w f in
+  let n = run ~nthreads w native in
+  float_of_int r.Cpu.Machine.wall_cycles /. float_of_int (max 1 n.Cpu.Machine.wall_cycles)
+
+let gmean xs =
+  match xs with
+  | [] -> nan
+  | _ -> exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* ---- formatting ---- *)
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row_header cols = Printf.printf "%-10s %s\n" "bench" (String.concat " " cols)
+
+let threads_sweep = [ 1; 2; 4; 8; 16 ]
+
+let all_workloads = Workloads.Registry.all

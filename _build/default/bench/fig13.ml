@@ -1,0 +1,34 @@
+(** Figure 13: fault-injection reliability of native vs ELZAR (2 threads,
+    smallest inputs, single-bit flips in destination registers of hardened
+    code).  Paper: 12 benchmarks (mmul and fluidanimate excluded), 2,500
+    injections each; the campaign size here is configurable
+    (--injections). *)
+
+let campaign (w : Workloads.Workload.t) (b : Elzar.build) : Fault.stats =
+  let spec = Workloads.Workload.fi_spec w ~build:b () in
+  Fault.campaign ~n:!Common.fi_injections spec
+
+let run () =
+  Common.heading
+    (Printf.sprintf "Figure 13: fault injection outcomes (%d injections per bar, 2 threads)"
+       !Common.fi_injections);
+  Printf.printf "%-10s | %28s | %38s\n" "bench" "native" "elzar";
+  Printf.printf "%-10s | %8s %8s %8s | %8s %8s %8s %10s\n" "" "crashed%" "correct%" "SDC%"
+    "crashed%" "correct%" "SDC%" "corrected%";
+  let agg = ref [] in
+  List.iter
+    (fun w ->
+      if w.Workloads.Workload.fi_ok then begin
+        let n = campaign w Elzar.Native_novec in
+        let e = campaign w (Elzar.Hardened Elzar.Harden_config.default) in
+        agg := (n, e) :: !agg;
+        Printf.printf "%-10s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f %10.1f\n"
+          w.Workloads.Workload.name (Fault.crashed_pct n) (Fault.correct_pct n)
+          (Fault.sdc_pct n) (Fault.crashed_pct e) (Fault.correct_pct e) (Fault.sdc_pct e)
+          (100.0 *. float_of_int e.Fault.corrected /. float_of_int (max 1 e.Fault.runs))
+      end)
+    Common.all_workloads;
+  let mean f side = Common.mean (List.map (fun (n, e) -> f (side (n, e))) !agg) in
+  Printf.printf "%-10s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f\n" "mean"
+    (mean Fault.crashed_pct fst) (mean Fault.correct_pct fst) (mean Fault.sdc_pct fst)
+    (mean Fault.crashed_pct snd) (mean Fault.correct_pct snd) (mean Fault.sdc_pct snd)

@@ -1,0 +1,45 @@
+(** Figure 15: case-study throughput, native vs ELZAR, 1-16 threads —
+    Memcached and SQLite3 under YCSB workloads A and D, Apache under an
+    ab-style client. *)
+
+let threads = [ 1; 2; 4; 8; 12; 16 ]
+
+let series (app : Apps.App.t) (client : Apps.App.client) (b : Elzar.build) =
+  List.map
+    (fun nthreads ->
+      let r = Apps.App.execute app ~build:b ~client ~nthreads in
+      (match r.Cpu.Machine.trap with
+      | Some t ->
+          failwith
+            (Printf.sprintf "fig15: %s trapped: %s" app.Apps.App.name
+               (Cpu.Machine.string_of_trap t))
+      | None -> ());
+      Apps.App.throughput app r)
+    threads
+
+let run () =
+  Common.heading "Figure 15: case-study throughput (requests/s, simulated 2 GHz)";
+  Printf.printf "%-22s" "app/client/build";
+  List.iter (fun t -> Printf.printf " %9dT" t) threads;
+  print_newline ();
+  List.iter
+    (fun (app : Apps.App.t) ->
+      List.iter
+        (fun client ->
+          let n = series app client Elzar.Native in
+          let e = series app client (Elzar.Hardened Elzar.Harden_config.default) in
+          let label b =
+            Printf.sprintf "%s/%s/%s" app.Apps.App.name (Apps.App.client_to_string client) b
+          in
+          Printf.printf "%-22s" (label "native");
+          List.iter (fun x -> Printf.printf " %10.0f" x) n;
+          print_newline ();
+          Printf.printf "%-22s" (label "elzar");
+          List.iter (fun x -> Printf.printf " %10.0f" x) e;
+          print_newline ();
+          let ratios = List.map2 (fun a b -> a /. b) e n in
+          Printf.printf "%-22s" (label "ratio");
+          List.iter (fun x -> Printf.printf " %9.0f%%" (100.0 *. x)) ratios;
+          print_newline ())
+        app.Apps.App.clients)
+    Apps.Registry_apps.all

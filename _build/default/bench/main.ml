@@ -1,0 +1,68 @@
+(** Experiment harness: regenerates every table and figure of the paper's
+    evaluation (DESIGN.md section 4 maps each to its module).
+
+    Usage: bench/main.exe [experiments...] [--size S] [--injections N]
+    With no arguments, runs everything. *)
+
+let experiments =
+  [
+    ("fig1", Fig01.run);
+    ("fig5", Fig05.run);
+    ("tab2", Tab02.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("tab3", Tab03.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+    ("floatonly", Floatonly.run);
+    ("fig15", Fig15.run);
+    ("tab4", Tab04.run);
+    ("fig17", Fig17.run);
+    ("ablate", Ablate.run);
+    ("ext", Ext.run);
+    ("bechamel", Bechamel_suite.run);
+  ]
+
+let usage () =
+  Printf.printf "usage: main.exe [%s] [--size tiny|small|medium|large] [--injections N]\n"
+    (String.concat "|" (List.map fst experiments));
+  exit 1
+
+let () =
+  let selected = ref [] in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--size" :: s :: rest ->
+        (Common.size :=
+           match s with
+           | "tiny" -> Workloads.Workload.Tiny
+           | "small" -> Workloads.Workload.Small
+           | "medium" -> Workloads.Workload.Medium
+           | "large" -> Workloads.Workload.Large
+           | _ -> usage ());
+        parse rest
+    | "--injections" :: n :: rest ->
+        Common.fi_injections := int_of_string n;
+        parse rest
+    | name :: rest when List.mem_assoc name experiments ->
+        selected := name :: !selected;
+        parse rest
+    | "--help" :: _ -> usage ()
+    | x :: _ ->
+        Printf.printf "unknown argument %s\n" x;
+        usage ()
+  in
+  parse (List.tl args);
+  let todo = if !selected = [] then List.map fst experiments else List.rev !selected in
+  Printf.printf "ELZAR experiment harness (size=%s, injections=%d)\n"
+    (Workloads.Workload.size_to_string !Common.size)
+    !Common.fi_injections;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      let t = Unix.gettimeofday () in
+      (List.assoc name experiments) ();
+      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    todo;
+  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)

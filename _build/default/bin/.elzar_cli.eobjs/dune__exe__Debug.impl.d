@@ -1,0 +1,1 @@
+bin/debug.ml: Array Cpu Elzar List Printf Sys Workloads

@@ -1,0 +1,1 @@
+bin/dump.ml: Array Ir Option Sys Workloads

@@ -1,0 +1,1 @@
+bin/elzar_cli.ml: Apps Arg Buffer Cmd Cmdliner Cpu Digest Elzar Fault Format Int64 Ir List Printf String Term Workloads

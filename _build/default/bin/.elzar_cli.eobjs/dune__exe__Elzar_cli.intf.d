@@ -1,0 +1,1 @@
+bin/elzar_cli.mli:

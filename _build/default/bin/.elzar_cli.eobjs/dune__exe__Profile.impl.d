@@ -1,0 +1,1 @@
+bin/profile.ml: Apps Array Cpu Elzar List Printf Sys Workloads

@@ -1,0 +1,27 @@
+let () =
+  let w = Workloads.Registry.find (try Sys.argv.(1) with _ -> "hist") in
+  let m = w.Workloads.Workload.build Workloads.Workload.Tiny in
+  let prepared = Elzar.prepare Elzar.Native_novec m in
+  let cfg = { Cpu.Machine.default_config with max_instrs = 3_000_000 } in
+  let machine = Cpu.Machine.create ~cfg prepared in
+  w.Workloads.Workload.init Workloads.Workload.Tiny machine;
+  let r = Cpu.Machine.run ~args:[| 2L |] machine "main" in
+  (match r.Cpu.Machine.trap with
+  | Some t -> Printf.printf "TRAP: %s\n" (Cpu.Machine.string_of_trap t)
+  | None -> Printf.printf "OK cycles=%d\n" r.Cpu.Machine.wall_cycles);
+  List.iter
+    (fun th ->
+      let open Cpu.Machine in
+      let frame_desc =
+        match th.frames with
+        | [] -> "done"
+        | fr :: _ -> Printf.sprintf "%s pc=%d" fr.cf.Cpu.Code.cf_name fr.pc
+      in
+      Printf.printf "thread %d status=%s cycle=%d instrs=%d frame=%s\n" th.tid
+        (match th.status with
+        | Running -> "running"
+        | Waiting t -> "waiting:" ^ string_of_int t
+        | Waiting_barrier a -> Printf.sprintf "barrier:0x%Lx" a
+        | Done -> "done")
+        (Cpu.Timing.cycle th.timing) th.ctr.Cpu.Counters.instrs frame_desc)
+    (List.rev machine.Cpu.Machine.threads)

@@ -1,0 +1,5 @@
+let () =
+  let w = Workloads.Registry.find (try Sys.argv.(1) with _ -> "hist") in
+  let m = w.Workloads.Workload.build Workloads.Workload.Tiny in
+  let f = Option.get (Ir.Instr.find_func m (try Sys.argv.(2) with _ -> "reduce")) in
+  print_string (Ir.Printer.func_to_string f)

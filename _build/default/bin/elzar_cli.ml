@@ -1,0 +1,169 @@
+(** Command-line interface to the ELZAR framework.
+
+    - [elzar list] — available workloads and case-study apps
+    - [elzar run WORKLOAD] — execute under a build flavour, print counters
+    - [elzar inject WORKLOAD] — run a fault-injection campaign
+    - [elzar show WORKLOAD FUNC] — print a function's IR before/after a pass
+    - [elzar app NAME] — run a case study and report throughput *)
+
+open Cmdliner
+
+let size_conv =
+  let parse = function
+    | "tiny" -> Ok Workloads.Workload.Tiny
+    | "small" -> Ok Workloads.Workload.Small
+    | "medium" -> Ok Workloads.Workload.Medium
+    | "large" -> Ok Workloads.Workload.Large
+    | s -> Error (`Msg ("unknown size " ^ s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Workloads.Workload.size_to_string s))
+
+let build_of_string = function
+  | "native" -> Ok Elzar.Native
+  | "novec" -> Ok Elzar.Native_novec
+  | "elzar" -> Ok (Elzar.Hardened Elzar.Harden_config.default)
+  | "elzar-nochecks" -> Ok (Elzar.Hardened Elzar.Harden_config.no_checks)
+  | "elzar-floats" -> Ok (Elzar.Hardened Elzar.Harden_config.floats_only)
+  | "elzar-future" -> Ok (Elzar.Hardened Elzar.Harden_config.future_avx)
+  | "swiftr" -> Ok Elzar.Swiftr
+  | s -> Error (`Msg ("unknown build " ^ s))
+
+let build_conv =
+  Arg.conv
+    (build_of_string, fun fmt b -> Format.pp_print_string fmt (Elzar.build_name b))
+
+let build_arg =
+  Arg.(value & opt build_conv (Elzar.Hardened Elzar.Harden_config.default)
+       & info [ "b"; "build" ] ~doc:"Build flavour: native, novec, elzar, elzar-nochecks, elzar-floats, elzar-future, swiftr.")
+
+let size_arg =
+  Arg.(value & opt size_conv Workloads.Workload.Small & info [ "s"; "size" ] ~doc:"Input size.")
+
+let threads_arg = Arg.(value & opt int 2 & info [ "t"; "threads" ] ~doc:"Worker threads.")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "workloads:\n";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-22s %s\n" w.Workloads.Workload.name
+          w.Workloads.Workload.description)
+      (Workloads.Registry.all @ Workloads.Registry.micro);
+    Printf.printf "apps:\n";
+    List.iter
+      (fun a -> Printf.printf "  %-22s %s\n" a.Apps.App.name a.Apps.App.description)
+      Apps.Registry_apps.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and apps") Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run name build nthreads size =
+    let w = Workloads.Registry.find name in
+    let r = Workloads.Workload.execute w ~build ~nthreads ~size in
+    (match r.Cpu.Machine.trap with
+    | Some t -> Printf.printf "trap: %s\n" (Cpu.Machine.string_of_trap t)
+    | None -> ());
+    let c = r.Cpu.Machine.totals in
+    Printf.printf "build        %s\n" (Elzar.build_name build);
+    Printf.printf "wall cycles  %d\n" r.Cpu.Machine.wall_cycles;
+    Printf.printf "instructions %d (avx %d)\n" c.Cpu.Counters.instrs c.Cpu.Counters.avx_instrs;
+    Printf.printf "loads/stores %d / %d (L1 miss %.2f%%)\n" c.Cpu.Counters.loads
+      c.Cpu.Counters.stores (Cpu.Counters.l1_miss_pct c);
+    Printf.printf "branches     %d (miss %.2f%%)\n" c.Cpu.Counters.branches
+      (Cpu.Counters.branch_miss_pct c);
+    Printf.printf "output       %s\n" (Digest.to_hex r.Cpu.Machine.output_digest)
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload on the simulated machine")
+    Term.(const run $ name_arg $ build_arg $ threads_arg $ size_arg)
+
+(* ---- inject ---- *)
+
+let inject_cmd =
+  let run name build n seed =
+    let w = Workloads.Registry.find name in
+    let spec = Workloads.Workload.fi_spec w ~build () in
+    let stats = Fault.campaign ~seed ~n spec in
+    Format.printf "%a@." Fault.pp_stats stats
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of injections.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
+    Term.(const run $ name_arg $ build_arg $ n $ seed)
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let run name fname build size =
+    let w = Workloads.Registry.find name in
+    let m = Elzar.prepare build (w.Workloads.Workload.build size) in
+    match Ir.Instr.find_func m fname with
+    | Some f -> print_string (Ir.Printer.func_to_string f)
+    | None -> Printf.printf "no function @%s\n" fname
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let fname = Arg.(value & pos 1 string "work" & info [] ~docv:"FUNCTION") in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a function's IR after the selected pass pipeline")
+    Term.(const run $ name_arg $ fname $ build_arg $ size_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run name build nthreads size limit =
+    let w = Workloads.Registry.find name in
+    let m = Elzar.prepare build (w.Workloads.Workload.build size) in
+    let buf = Buffer.create 4096 in
+    let cfg = { Cpu.Machine.default_config with trace = Some buf } in
+    let machine = Cpu.Machine.create ~cfg ~flags_cmp:(Elzar.uses_flags_cmp build) m in
+    w.Workloads.Workload.init size machine;
+    ignore (Cpu.Machine.run ~args:[| Int64.of_int nthreads |] machine "main");
+    let lines = String.split_on_char '\n' (Buffer.contents buf) in
+    List.iteri (fun i l -> if i < limit then print_endline l) lines
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let limit = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Lines of trace to print.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print an instruction-level execution trace (SDE debugtrace analogue)")
+    Term.(const run $ name_arg $ build_arg $ threads_arg $ size_arg $ limit)
+
+(* ---- app ---- *)
+
+let app_cmd =
+  let run name build nthreads client =
+    let app = Apps.Registry_apps.find name in
+    let client =
+      match client with
+      | "A" -> Apps.App.Ycsb Apps.Ycsb.A
+      | "D" -> Apps.App.Ycsb Apps.Ycsb.D
+      | _ -> Apps.App.Ab
+    in
+    let r = Apps.App.execute app ~build ~client ~nthreads in
+    (match r.Cpu.Machine.trap with
+    | Some t -> Printf.printf "trap: %s\n" (Cpu.Machine.string_of_trap t)
+    | None -> ());
+    Printf.printf "%s %s %s %dT: %.0f req/s (%d cycles)\n" name
+      (Apps.App.client_to_string client) (Elzar.build_name build) nthreads
+      (Apps.App.throughput app r) r.Cpu.Machine.wall_cycles
+  in
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"APP") in
+  let client = Arg.(value & opt string "A" & info [ "c"; "client" ] ~doc:"Client: A, D or ab.") in
+  Cmd.v
+    (Cmd.info "app" ~doc:"Run a case-study application")
+    Term.(const run $ name_arg $ build_arg $ threads_arg $ client)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "elzar" ~version:"1.0.0"
+             ~doc:"Triple modular redundancy using (simulated) Intel AVX")
+          [ list_cmd; run_cmd; inject_cmd; show_cmd; trace_cmd; app_cmd ]))

@@ -1,0 +1,37 @@
+(* Per-build counter comparison for one workload or app: the quick way to
+   see where a hardening pass spends its instructions. *)
+
+let builds =
+  [
+    Elzar.Native;
+    Elzar.Native_novec;
+    Elzar.Hardened Elzar.Harden_config.default;
+    Elzar.Hardened Elzar.Harden_config.no_checks;
+    Elzar.Hardened Elzar.Harden_config.future_avx;
+    Elzar.Swiftr;
+  ]
+
+let report name (r : Cpu.Machine.result) =
+  let c = r.Cpu.Machine.totals in
+  Printf.printf "%-16s cycles=%-10d instrs=%-10d uops=%-10d avx=%-9d loads=%-8d l1miss=%-7d br=%-8d brmiss=%d\n"
+    name r.Cpu.Machine.wall_cycles c.Cpu.Counters.instrs c.Cpu.Counters.uops
+    c.Cpu.Counters.avx_instrs c.Cpu.Counters.loads c.Cpu.Counters.l1_misses
+    c.Cpu.Counters.branches c.Cpu.Counters.branch_misses
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "linreg" in
+  let nthreads = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2 in
+  match List.find_opt (fun a -> a.Apps.App.name = name) Apps.Registry_apps.all with
+  | Some app ->
+      List.iter
+        (fun b ->
+          report (Elzar.build_name b)
+            (Apps.App.execute app ~build:b ~client:(List.hd app.Apps.App.clients) ~nthreads))
+        builds
+  | None ->
+      let w = Workloads.Registry.find name in
+      List.iter
+        (fun b ->
+          report (Elzar.build_name b)
+            (Workloads.Workload.execute w ~build:b ~nthreads ~size:Workloads.Workload.Small))
+        builds

@@ -1,0 +1,1 @@
+examples/fault_injection_campaign.ml: Array Elzar Fault Printf Sys Workloads

@@ -1,0 +1,1 @@
+examples/float_only_hardening.ml: Cpu Elzar List Printf Workloads

@@ -1,0 +1,1 @@
+examples/ir_tooling.ml: Array Cpu Digest Elzar Filename Ir List Printf Sys Workloads

@@ -1,0 +1,1 @@
+examples/kvstore_hardening.ml: Apps Elzar List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cpu Digest Elzar Fault Ir Option Printf

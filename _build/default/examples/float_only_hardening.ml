@@ -1,0 +1,23 @@
+(* Scenario: protecting only the floating-point unit (paper §V-B).
+
+   AVX was designed for floating-point data parallelism, so hardening only
+   floats/doubles is nearly free; this example compares full ELZAR against
+   the stripped-down floats-only mode on the FP-heavy PARSEC benchmarks.
+
+   Run with: dune exec examples/float_only_hardening.exe *)
+
+let () =
+  Printf.printf "%-8s %12s %12s %14s\n" "bench" "native" "elzar-full" "elzar-floats";
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let cycles b =
+        (Workloads.Workload.execute w ~build:b ~nthreads:4 ~size:Workloads.Workload.Small)
+          .Cpu.Machine.wall_cycles
+      in
+      let n = cycles Elzar.Native in
+      let full = cycles (Elzar.Hardened Elzar.Harden_config.default) in
+      let fl = cycles (Elzar.Hardened Elzar.Harden_config.floats_only) in
+      Printf.printf "%-8s %12d %10.2fx %+12.0f%%\n" w.Workloads.Workload.name n
+        (float_of_int full /. float_of_int n)
+        (100.0 *. ((float_of_int fl /. float_of_int n) -. 1.0)))
+    Workloads.Registry.float_heavy

@@ -1,0 +1,1 @@
+lib/apps/apache.ml: App Builder Instr Ir Random String Types Workloads Ycsb

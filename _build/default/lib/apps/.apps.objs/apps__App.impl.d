@@ -1,0 +1,1 @@
+lib/apps/app.ml: Cpu Elzar Int64 Ir Ycsb

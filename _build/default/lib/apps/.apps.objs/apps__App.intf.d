@@ -1,0 +1,1 @@
+lib/apps/app.mli: Cpu Elzar Ir Ycsb

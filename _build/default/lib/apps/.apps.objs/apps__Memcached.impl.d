@@ -1,0 +1,1 @@
+lib/apps/memcached.ml: App Array Builder Cpu Instr Int64 Ir Random Types Workloads Ycsb

@@ -1,0 +1,1 @@
+lib/apps/registry_apps.ml: Apache App List Memcached Sqlite3

@@ -1,0 +1,1 @@
+lib/apps/registry_apps.mli: App

@@ -1,0 +1,1 @@
+lib/apps/sqlite3.ml: App Builder Cpu Instr Int64 Ir Random String Types Workloads Ycsb

@@ -1,0 +1,1 @@
+lib/apps/sqlite3.mli: App

@@ -1,0 +1,1 @@
+lib/apps/ycsb.ml: Array Cpu Int64 Random

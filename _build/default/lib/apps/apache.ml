@@ -1,0 +1,101 @@
+(** Apache-like static web server (paper §VI, Fig. 15c).
+
+    The worker-MPM model: threads claim requests, parse the HTTP header
+    (hardened, as httpd core would be), then hand the actual page copy and
+    checksum to an *unhardened* library routine — the paper attributes
+    Apache's good result (~85% of native) to its heavy use of third-party
+    libraries that ELZAR does not harden. *)
+
+open Ir
+open Instr
+
+let npages = 4
+let page_bytes = 16 * 1024
+let nreq = 160
+let hdr_len = 96
+
+let build () : modul =
+  let m = Builder.create_module () in
+  Builder.global m "reqs" (nreq * 16);
+  Builder.global m "reqidx" 8;
+  Builder.global m "pages" (npages * page_bytes);
+  Builder.global m "outbuf" (Workloads.Parallel.max_threads * page_bytes);
+  Builder.global m "hdr" hdr_len;
+  Builder.global m "pacc" (Workloads.Parallel.max_threads * 8);
+  let open Builder in
+  (* unhardened "third-party library": copy the page and checksum it *)
+  let b, ps =
+    func m ~hardened:false "apr_serve" ~ret:Types.i64
+      [ ("page", Types.i64); ("out", Types.ptr) ]
+  in
+  let page, out = match ps with [ p; o ] -> (Reg p, Reg o) | _ -> assert false in
+  let src = gep b (Glob "pages") page page_bytes in
+  for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c (page_bytes / 8)) (fun i ->
+      store b (load b Types.i64 (gep b src i 8)) (gep b out i 8));
+  let chk = fresh b ~name:"chk" Types.i64 in
+  assign b chk (i64c 0);
+  for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c (page_bytes / 8)) (fun i ->
+      let v = load b Types.i64 (gep b out i 8) in
+      assign b chk (add b (xor b (Reg chk) v) (i64c 1)));
+  ret b (Some (Reg chk));
+  (* hardened httpd core: header parse + dispatch *)
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, _ = Workloads.Parallel.worker_ids b arg in
+  let mybuf = gep b (Glob "outbuf") tid page_bytes in
+  let acc = fresh b ~name:"acc" Types.i64 in
+  assign b acc (i64c 0);
+  let fin = fresh b ~name:"fin" Types.i64 in
+  assign b fin (i64c 0);
+  while_ b
+    ~cond:(fun () -> icmp b Ieq (Reg fin) (i64c 0))
+    ~body:(fun () ->
+      let idx = atomic_rmw b Rmw_add (Glob "reqidx") (i64c 1) in
+      if_ b
+        (icmp b Isge idx (i64c nreq))
+        ~then_:(fun () -> assign b fin (i64c 1))
+        ~else_:(fun () ->
+          let key = load b Types.i64 (gep b (gep b (Glob "reqs") idx 16) (i64c 1) 8) in
+          (* parse the request header *)
+          let h = fresh b ~name:"h" Types.i64 in
+          assign b h key;
+          for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c hdr_len) (fun i ->
+              let c = zext b Types.i64 (load b Types.i8 (gep b (Glob "hdr") i 1)) in
+              assign b h (mul b (xor b (Reg h) c) (Imm (Types.i64, 0x100000001b3L))));
+          let page = and_ b key (i64c (npages - 1)) in
+          let chk = callv b ~ret:Types.i64 "apr_serve" [ page; mybuf ] in
+          assign b acc (add b (Reg acc) (xor b chk (Reg h))))
+        ());
+  store b (Reg acc) (gep b (Glob "pacc") tid 8);
+  ret b None;
+  let b, ps = func m "reduce" [ ("nth", Types.i64) ] in
+  let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tot = fresh b ~name:"tot" Types.i64 in
+  assign b tot (i64c 0);
+  for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+      assign b tot (add b (Reg tot) (load b Types.i64 (gep b (Glob "pacc") t 8))));
+  call0 b "output_i64" [ Reg tot ];
+  ret b None;
+  Workloads.Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+      match b.Builder.func.params with
+      | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+      | _ -> assert false);
+  Workloads.Rtlib.link m
+
+let init _client machine =
+  let st = Random.State.make [| 67 |] in
+  Workloads.Data.fill_bytes machine "pages" (npages * page_bytes) (fun _ -> Random.State.int st 256);
+  Workloads.Data.blit_string machine "hdr"
+    (let s = "GET /index.html HTTP/1.1 Host: example.org User-Agent: ab/2.3" in
+     s ^ String.make (hdr_len - String.length s) ' ');
+  Ycsb.install machine (Ycsb.generate Ycsb.A ~nkeys:npages ~nreq)
+
+let app =
+  {
+    App.name = "apache";
+    description = "static web server: hardened core, unhardened page-serving library";
+    build;
+    init;
+    nreq;
+    clients = [ App.Ab ];
+  }

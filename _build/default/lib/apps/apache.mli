@@ -1,0 +1,3 @@
+(** apache case study (paper §VI); see the .ml for modelling notes. *)
+
+val app : App.t

@@ -1,0 +1,8 @@
+(** The three case studies of paper §VI, in figure order. *)
+
+let all = [ Memcached.app; Sqlite3.app; Apache.app ]
+
+let find name =
+  match List.find_opt (fun a -> a.App.name = name) all with
+  | Some a -> a
+  | None -> invalid_arg ("Registry_apps.find: unknown app " ^ name)

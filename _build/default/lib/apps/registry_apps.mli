@@ -1,0 +1,6 @@
+(** The three case studies of paper §VI, in figure order. *)
+
+val all : App.t list
+
+(** @raise Invalid_argument on unknown names. *)
+val find : string -> App.t

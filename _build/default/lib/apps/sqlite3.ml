@@ -1,0 +1,140 @@
+(** SQLite3-like in-memory database (paper §VI, Fig. 15b).
+
+    Rows live in a sorted table reached by binary search; every operation
+    first "parses" its query (a hash pass over the query text, standing in
+    for SQLite's parser) and then runs under one global lock — SQLite is
+    thread-safe but not concurrent, which is exactly the reverse
+    scalability curve the paper reports.  The dense near loads, function
+    calls and branches make this ELZAR's worst case study (20-30% of
+    native throughput). *)
+
+open Ir
+open Instr
+
+let nrows = 4096  (* power of two; row = (key, a, b, chk) = 32 bytes *)
+let nreq = 1500
+let qlen = 48
+
+let build () : modul =
+  let m = Builder.create_module () in
+  Builder.global m "reqs" (nreq * 16);
+  Builder.global m "reqidx" 8;
+  Builder.global m "rows" (nrows * 32);
+  Builder.global m "dblock" 8;
+  Builder.global m "qtext" (2 * qlen);  (* SELECT / UPDATE templates *)
+  Builder.global m "pacc" (Workloads.Parallel.max_threads * 8);
+  let open Builder in
+  (* "parser": hash the query template (hardened, as sqlite3.c would be) *)
+  let b, ps = func m "parse_query" ~ret:Types.i64 [ ("op", Types.i64) ] in
+  let op = match ps with [ a ] -> Reg a | _ -> assert false in
+  let qbase = gep b (Glob "qtext") op qlen in
+  let h = fresh b ~name:"h" Types.i64 in
+  assign b h (Imm (Types.i64, 0xcbf29ce484222325L));
+  for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c qlen) (fun i ->
+      let c = zext b Types.i64 (load b Types.i8 (gep b qbase i 1)) in
+      assign b h (mul b (xor b (Reg h) c) (Imm (Types.i64, 0x100000001b3L))));
+  ret b (Some (Reg h));
+  (* b-tree style lookup: binary search over the sorted key column *)
+  let b, ps = func m "find_row" ~ret:Types.i64 [ ("key", Types.i64) ] in
+  let key = match ps with [ a ] -> Reg a | _ -> assert false in
+  let lo = fresh b ~name:"lo" Types.i64 and hi = fresh b ~name:"hi" Types.i64 in
+  assign b lo (i64c 0);
+  assign b hi (i64c nrows);
+  while_ b
+    ~cond:(fun () -> icmp b Islt (Reg lo) (Reg hi))
+    ~body:(fun () ->
+      let mid = lshr b (add b (Reg lo) (Reg hi)) (i64c 1) in
+      let k = load b Types.i64 (gep b (Glob "rows") (mul b mid (i64c 4)) 8) in
+      if_ b
+        (icmp b Islt k key)
+        ~then_:(fun () -> assign b lo (add b mid (i64c 1)))
+        ~else_:(fun () -> assign b hi mid)
+        ());
+  ret b (Some (Reg lo));
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, _ = Workloads.Parallel.worker_ids b arg in
+  let acc = fresh b ~name:"acc" Types.i64 in
+  assign b acc (i64c 0);
+  let fin = fresh b ~name:"fin" Types.i64 in
+  assign b fin (i64c 0);
+  while_ b
+    ~cond:(fun () -> icmp b Ieq (Reg fin) (i64c 0))
+    ~body:(fun () ->
+      let idx = atomic_rmw b Rmw_add (Glob "reqidx") (i64c 1) in
+      if_ b
+        (icmp b Isge idx (i64c nreq))
+        ~then_:(fun () -> assign b fin (i64c 1))
+        ~else_:(fun () ->
+          let rbase = gep b (Glob "reqs") idx 16 in
+          let op = load b Types.i64 rbase in
+          let key = load b Types.i64 (gep b rbase (i64c 1) 8) in
+          (* the whole statement — including sqlite3_prepare's parse — runs
+             under the connection's global mutex (serialized mode) *)
+          call0 b "lock" [ Glob "dblock" ];
+          let qh = callv b ~ret:Types.i64 "parse_query" [ op ] in
+          let r = callv b ~ret:Types.i64 "find_row" [ key ] in
+          let row = gep b (Glob "rows") (mul b r (i64c 4)) 8 in
+          let a_slot = gep b row (i64c 1) 8 in
+          let b_slot = gep b row (i64c 2) 8 in
+          let chk_slot = gep b row (i64c 3) 8 in
+          if_ b
+            (icmp b Ieq op (i64c 0))
+            ~then_:(fun () ->
+              let va = load b Types.i64 a_slot in
+              let vb = load b Types.i64 b_slot in
+              let vc = load b Types.i64 chk_slot in
+              assign b acc (add b (Reg acc) (add b va (add b vb (xor b vc qh)))))
+            ~else_:(fun () ->
+              let va = load b Types.i64 a_slot in
+              let va' = add b va (xor b idx qh) in
+              store b va' a_slot;
+              let vb = load b Types.i64 b_slot in
+              store b (xor b key (xor b va' vb)) chk_slot)
+            ();
+          call0 b "unlock" [ Glob "dblock" ])
+        ());
+  store b (Reg acc) (gep b (Glob "pacc") tid 8);
+  ret b None;
+  let b, ps = func m "reduce" [ ("nth", Types.i64) ] in
+  let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tot = fresh b ~name:"tot" Types.i64 in
+  assign b tot (i64c 0);
+  for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+      assign b tot (add b (Reg tot) (load b Types.i64 (gep b (Glob "pacc") t 8))));
+  call0 b "output_i64" [ Reg tot ];
+  ret b None;
+  Workloads.Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+      match b.Builder.func.params with
+      | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+      | _ -> assert false);
+  Workloads.Rtlib.link m
+
+let init client machine =
+  let wl = match client with App.Ycsb wl -> wl | App.Ab -> Ycsb.A in
+  let st = Random.State.make [| 61 |] in
+  let base = Cpu.Machine.global_addr machine "rows" in
+  for i = 0 to nrows - 1 do
+    let a = Int64.of_int (Random.State.int st 1_000_000) in
+    let bv = Int64.of_int (Random.State.int st 1_000_000) in
+    let row = Int64.add base (Int64.of_int (i * 32)) in
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:8 row (Int64.of_int i);
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:8 (Int64.add row 8L) a;
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:8 (Int64.add row 16L) bv;
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:8 (Int64.add row 24L)
+      (Int64.logxor (Int64.of_int i) (Int64.logxor a bv))
+  done;
+  Workloads.Data.blit_string machine "qtext"
+    (let pad s = s ^ String.make (qlen - String.length s) ' ' in
+     pad "SELECT a,b,chk FROM t WHERE key=?;" ^ pad "UPDATE t SET a=? WHERE key=?;");
+  Ycsb.install machine (Ycsb.generate wl ~nkeys:nrows ~nreq)
+
+let app =
+  {
+    App.name = "sqlite3";
+    description = "in-memory DB: parse + binary search under one global lock";
+    build;
+    init;
+    nreq;
+    clients = [ App.Ycsb Ycsb.A; App.Ycsb Ycsb.D ];
+  }

@@ -1,0 +1,3 @@
+(** sqlite3 case study (paper §VI); see the .ml for modelling notes. *)
+
+val app : App.t

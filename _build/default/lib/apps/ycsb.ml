@@ -1,0 +1,65 @@
+(** Host-side YCSB workload generator (Cooper et al., cited by the paper
+    for the Memcached/SQLite case studies).
+
+    Workload A: 50% reads / 50% updates, zipfian key popularity.
+    Workload D: 95% reads / 5% updates, "latest" popularity (recent keys
+    are hot).  Requests are encoded as (op, key) pairs and preloaded into
+    the application's request array in simulated memory — the analogue of
+    client traffic arriving over the (unsimulated) network. *)
+
+type workload = A | D
+
+let workload_to_string = function A -> "A" | D -> "D"
+
+type op = Read | Update
+
+(* zipfian sampler over [0, n) with the classic theta = 0.99, via an
+   inverse-CDF table *)
+let zipf_sampler st n =
+  let theta = 0.99 in
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      total := !total +. w;
+      cum.(i) <- !total)
+    weights;
+  let total = !total in
+  fun () ->
+    let u = Random.State.float st total in
+    (* binary search the cumulative table *)
+    let rec bs lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) < u then bs (mid + 1) hi else bs lo mid
+    in
+    bs 0 (n - 1)
+
+(* One request stream. [nkeys] must match the store's prefilled key space. *)
+let generate ?(seed = 97) (wl : workload) ~(nkeys : int) ~(nreq : int) : (op * int) array =
+  let st = Random.State.make [| seed; (match wl with A -> 1 | D -> 2) |] in
+  let zipf = zipf_sampler st nkeys in
+  Array.init nreq (fun _ ->
+      match wl with
+      | A ->
+          let op = if Random.State.bool st then Read else Update in
+          (op, zipf ())
+      | D ->
+          let op = if Random.State.int st 100 < 95 then Read else Update in
+          (* "latest": popularity decays from the newest key downward *)
+          (Update, nkeys - 1 - zipf ()) |> fun (_, k) -> (op, k))
+
+(* Writes the request array into the app's "reqs" global: 16 bytes per
+   request, (op, key) as two i64. *)
+let install machine (reqs : (op * int) array) =
+  let base = Cpu.Machine.global_addr machine "reqs" in
+  Array.iteri
+    (fun i (op, key) ->
+      let a = Int64.add base (Int64.of_int (i * 16)) in
+      Cpu.Memory.write machine.Cpu.Machine.mem ~width:8 a
+        (match op with Read -> 0L | Update -> 1L);
+      Cpu.Memory.write machine.Cpu.Machine.mem ~width:8 (Int64.add a 8L)
+        (Int64.of_int key))
+    reqs

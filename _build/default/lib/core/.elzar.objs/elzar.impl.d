@@ -1,0 +1,1 @@
+lib/core/elzar.ml: Cpu Elzar_pass Harden_config Ir Optimize Swiftr_pass Vectorize

@@ -1,0 +1,1 @@
+lib/core/elzar_pass.ml: Array Harden_config Instr Ir Linker List Printf Types

@@ -1,0 +1,1 @@
+lib/core/elzar_pass.mli: Harden_config Ir

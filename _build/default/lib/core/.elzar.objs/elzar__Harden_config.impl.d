@@ -1,0 +1,1 @@
+lib/core/harden_config.ml: Printf

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Array Cpu Hashtbl Instr Ir List Option Printer Printf String Types

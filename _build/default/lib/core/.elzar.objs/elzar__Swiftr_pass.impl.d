@@ -1,0 +1,1 @@
+lib/core/swiftr_pass.ml: Array Elzar_pass Instr Ir Linker List Types

@@ -1,0 +1,1 @@
+lib/core/swiftr_pass.mli: Ir

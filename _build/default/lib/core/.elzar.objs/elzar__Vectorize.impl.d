@@ -1,0 +1,1 @@
+lib/core/vectorize.ml: Array Hashtbl Instr Int64 Ir List Option Types

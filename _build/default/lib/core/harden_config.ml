@@ -1,0 +1,56 @@
+(** Configuration of the ELZAR hardening pass.
+
+    The check toggles correspond to the overhead-breakdown configurations of
+    the paper's Fig. 12; [mode] selects full protection or the stripped-down
+    floating-point-only variant of §V-B; [future_avx] emits the proposed
+    AVX extensions of §VII (gather/scatter memory accesses with offloaded
+    checks, FLAGS-setting vector comparisons) used for Fig. 17. *)
+
+type recovery =
+  | Basic  (** compare the two low lanes, broadcast lane 0 or lane n-1 *)
+  | Extended  (** 3-lane majority vote; [elzar_fatal] when no majority *)
+
+type mode = Full | Floats_only
+
+type t = {
+  check_loads : bool;
+  check_stores : bool;
+  check_branches : bool;
+  check_calls : bool;  (** calls, returns, atomics *)
+  store_check_value : bool;
+      (** check the stored value as well as the address (the paper does;
+          ablating this isolates the 40%-of-overhead store checks) *)
+  mode : mode;
+  future_avx : bool;
+  recovery : recovery;
+}
+
+let default =
+  {
+    check_loads = true;
+    check_stores = true;
+    check_branches = true;
+    check_calls = true;
+    store_check_value = true;
+    mode = Full;
+    future_avx = false;
+    recovery = Basic;
+  }
+
+(* The successive configurations of Fig. 12. *)
+let no_load_checks = { default with check_loads = false }
+let no_memory_checks = { no_load_checks with check_stores = false }
+let no_mem_branch_checks = { no_memory_checks with check_branches = false }
+
+let no_checks =
+  { no_mem_branch_checks with check_calls = false; store_check_value = false }
+
+let floats_only = { default with mode = Floats_only }
+let future_avx = { default with future_avx = true }
+
+let to_string (c : t) =
+  Printf.sprintf "checks[loads=%b stores=%b branches=%b calls=%b] mode=%s%s recovery=%s"
+    c.check_loads c.check_stores c.check_branches c.check_calls
+    (match c.mode with Full -> "full" | Floats_only -> "floats-only")
+    (if c.future_avx then " future-avx" else "")
+    (match c.recovery with Basic -> "basic" | Extended -> "extended")

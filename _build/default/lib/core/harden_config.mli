@@ -1,0 +1,32 @@
+(** Configuration of the ELZAR hardening pass: the check toggles of
+    Fig. 12, full vs floats-only protection (§V-B), the future-AVX mode of
+    §VII, and the recovery strategy of §III-C step 3. *)
+
+type recovery =
+  | Basic  (** compare the two low lanes, broadcast lane 0 or lane n-1 *)
+  | Extended  (** 3-lane majority vote; [elzar_fatal] when no majority *)
+
+type mode = Full | Floats_only
+
+type t = {
+  check_loads : bool;
+  check_stores : bool;
+  check_branches : bool;
+  check_calls : bool;  (** calls, returns, atomics *)
+  store_check_value : bool;
+  mode : mode;
+  future_avx : bool;
+  recovery : recovery;
+}
+
+val default : t
+
+(** The successive configurations of Fig. 12. *)
+val no_load_checks : t
+
+val no_memory_checks : t
+val no_mem_branch_checks : t
+val no_checks : t
+val floats_only : t
+val future_avx : t
+val to_string : t -> string

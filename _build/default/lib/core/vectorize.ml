@@ -1,0 +1,452 @@
+(** Conservative inner-loop auto-vectorizer.
+
+    Stands in for LLVM's loop vectorizer in the paper's "native" builds
+    (`-msse4.2 -mavx2`); the "no-SIMD" builds of Fig. 1 simply skip this
+    pass.  Canonical counted loops recorded by [Builder.for_] are vectorized
+    four-wide when the body is straight-line, memory accesses are provably
+    unit-stride or loop-invariant affine functions of the induction
+    variable, and cross-iteration state is limited to recognizable
+    reductions.  Like the compilers the paper studies (footnote 1), the pass
+    has no profitability model: legal loops are vectorized even when the
+    AVX μops are slower than the scalar ones, which is precisely how some
+    benchmarks end up slower with SIMD enabled.
+
+    Aliasing caveat: loads and stores in the same loop are assumed
+    independent (`restrict` semantics), which the bundled workloads satisfy
+    by construction. *)
+
+open Ir
+open Instr
+
+let vf = 4
+
+type sym = { stride : int64 option; konst : int64 option }
+
+let unknown = { stride = None; konst = None }
+let invariant = { stride = Some 0L; konst = None }
+
+(* ---- symbolic affine analysis over the body ---- *)
+
+let sym_of_operand (env : sym array) (o : operand) : sym =
+  match o with
+  | Reg r -> env.(r.rid)
+  | Imm (_, v) -> { stride = Some 0L; konst = Some v }
+  | Fimm _ -> invariant
+  | Glob _ | Fref _ -> invariant
+
+let sym_binop op (a : sym) (b : sym) : sym =
+  let lift2 f = match (a.konst, b.konst) with Some x, Some y -> Some (f x y) | _ -> None in
+  match op with
+  | Add ->
+      {
+        stride = (match (a.stride, b.stride) with Some x, Some y -> Some (Int64.add x y) | _ -> None);
+        konst = lift2 Int64.add;
+      }
+  | Sub ->
+      {
+        stride = (match (a.stride, b.stride) with Some x, Some y -> Some (Int64.sub x y) | _ -> None);
+        konst = lift2 Int64.sub;
+      }
+  | Mul ->
+      let stride =
+        match (a.stride, b.konst, b.stride, a.konst) with
+        | Some sa, Some kb, _, _ -> Some (Int64.mul sa kb)
+        | _, _, Some sb, Some ka -> Some (Int64.mul sb ka)
+        | _ -> None
+      in
+      { stride; konst = lift2 Int64.mul }
+  | Shl -> (
+      match b.konst with
+      | Some k when k >= 0L && k < 32L ->
+          let f x = Int64.shift_left x (Int64.to_int k) in
+          {
+            stride = Option.map f a.stride;
+            konst = Option.map f a.konst;
+          }
+      | _ -> unknown)
+  | _ -> unknown
+
+(* ---- vectorization of one loop ---- *)
+
+exception Reject
+
+type vctx = {
+  f : func;
+  mutable nextr : int;
+  vmap : reg option array;  (** body-local scalar -> vector counterpart *)
+  mutable pre : t list;  (** preheader instructions, reversed *)
+  mutable body : t list;  (** vector body instructions, reversed *)
+  mutable iotas : (Types.scalar * int64 * reg) list;  (** elem, stride, [0,s,2s,3s] *)
+  mutable reductions : (reg * reg * binop option * fbinop option) list;
+      (** scalar acc, vector acc, integer or float op *)
+}
+
+let vfresh ctx ty =
+  let r = { rid = ctx.nextr; rname = "q"; rty = ty } in
+  ctx.nextr <- ctx.nextr + 1;
+  r
+
+let scalar_elem (o : operand) =
+  match operand_ty None o with Types.Scalar s -> s | Types.Vector (s, _) -> s
+
+(* The constant vector [0, s, 2s, 3s] used to widen affine scalars. *)
+let iota ctx (elem : Types.scalar) (stride : int64) : reg =
+  match List.find_opt (fun (e, s, _) -> e = elem && s = stride) ctx.iotas with
+  | Some (_, _, r) -> r
+  | None ->
+      let ty = Types.Vector (elem, vf) in
+      let r = vfresh ctx ty in
+      ctx.pre <- Mov (r, Imm (ty, 0L)) :: ctx.pre;
+      for j = 1 to vf - 1 do
+        let r' = r in
+        ctx.pre <-
+          Insertlane (r', Reg r', j, Imm (Types.Scalar elem, Int64.mul stride (Int64.of_int j)))
+          :: ctx.pre
+      done;
+      ctx.iotas <- (elem, stride, r) :: ctx.iotas;
+      r
+
+(* Widens an operand for use in a vector instruction. *)
+let widen ctx (env : sym array) (o : operand) : operand =
+  match o with
+  | Imm (Types.Scalar s, v) -> Imm (Types.Vector (s, vf), v)
+  | Fimm (Types.Scalar s, v) -> Fimm (Types.Vector (s, vf), v)
+  | Glob _ | Fref _ -> o
+  | Imm (Types.Vector _, _) | Fimm (Types.Vector _, _) -> o
+  | Reg r -> (
+      match ctx.vmap.(r.rid) with
+      | Some v -> Reg v
+      | None -> (
+          let elem = scalar_elem o in
+          let vty = Types.Vector (elem, vf) in
+          match env.(r.rid).stride with
+          | Some 0L ->
+              let b = vfresh ctx vty in
+              ctx.body <- Broadcast (b, Reg r) :: ctx.body;
+              Reg b
+          | Some s ->
+              (* affine: lane j = scalar + j*stride *)
+              let io = iota ctx elem s in
+              let b = vfresh ctx vty in
+              ctx.body <- Broadcast (b, Reg r) :: ctx.body;
+              let sum = vfresh ctx vty in
+              ctx.body <- Binop (sum, Add, Reg b, Reg io) :: ctx.body;
+              Reg sum
+          | None -> raise Reject))
+
+let set_vmap ctx (r : reg) (v : reg) = ctx.vmap.(r.rid) <- Some v
+
+let mask_vty (o : operand) =
+  Types.Vector (Types.mask_elem (scalar_elem o), vf)
+
+let neutral_int = function
+  | Add | Or | Xor | Sub -> 0L
+  | Mul -> 1L
+  | And -> -1L
+  | _ -> raise Reject
+
+(* Returns [true] if [o] mentions a register that already has a vector
+   counterpart (forcing this instruction into the vector domain). *)
+let mentions_vector ctx = function
+  | Reg r when r.rid < Array.length ctx.vmap -> ctx.vmap.(r.rid) <> None
+  | _ -> false
+
+let vectorize_loop (f : func) (li : loop_info) : bool =
+  let body_block =
+    match List.assoc_opt li.l_body f.blocks with Some b -> b | None -> raise Reject
+  in
+  if body_block.term <> Br li.l_latch then raise Reject;
+  (* the latch must be exactly the canonical increment *)
+  (match List.assoc_opt li.l_latch f.blocks with
+  | Some { instrs = [ Binop (r, Add, Reg r', Imm (_, 1L)) ]; term = Br h }
+    when r.rid = li.l_ivar.rid && r'.rid = li.l_ivar.rid && h = li.l_header ->
+      ()
+  | _ -> raise Reject);
+  if li.l_ivar.rty <> Types.i64 then raise Reject;
+  (* registers defined in the body *)
+  let defined = Hashtbl.create 16 in
+  List.iter
+    (fun i -> match dest i with Some r -> Hashtbl.replace defined r.rid i | None -> ())
+    body_block.instrs;
+  (* uses and defs of body-defined registers elsewhere in the function *)
+  let outside_use = Hashtbl.create 16 in
+  List.iter
+    (fun (l, (b : block)) ->
+      if l <> li.l_body then begin
+        let see o = match o with Reg r -> Hashtbl.replace outside_use r.rid () | _ -> () in
+        List.iter
+          (fun i ->
+            List.iter see (operands i);
+            match dest i with Some r -> Hashtbl.replace outside_use r.rid () | None -> ())
+          b.instrs;
+        List.iter see (term_operands b.term)
+      end)
+    f.blocks;
+  (* reduction candidates: defined in body AND live outside.  Floating-point
+     reductions are NOT vectorized: folding lanes reassociates the sum,
+     which strict IEEE semantics (LLVM without -ffast-math, as in the
+     paper's builds) forbids. *)
+  let is_reduction_mov = function
+    | Mov (acc, Reg t) when Hashtbl.mem outside_use acc.rid -> (
+        match Hashtbl.find_opt defined t.rid with
+        | Some (Binop (_, op, Reg a, x)) when a.rid = acc.rid && x <> Reg acc ->
+            Some (acc, t, Some op, None)
+        | Some (Binop (_, op, x, Reg a)) when a.rid = acc.rid && x <> Reg acc ->
+            Some (acc, t, Some op, None)
+        | _ -> None)
+    | _ -> None
+  in
+  let reductions =
+    List.filter_map is_reduction_mov body_block.instrs
+  in
+  let red_accs = List.map (fun (a, _, _, _) -> a.rid) reductions in
+  let red_ts = List.map (fun (_, t, _, _) -> t.rid) reductions in
+  (* every body-defined register escaping the body must be a reduction acc *)
+  Hashtbl.iter
+    (fun rid _ ->
+      if Hashtbl.mem outside_use rid && not (List.mem rid red_accs) then raise Reject)
+    defined;
+  (* loop-carried register dependences (a body-defined register read before
+     its definition) cannot be vectorized; reduction accumulators are the
+     one recognized exception *)
+  let defined_so_far = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      List.iter
+        (function
+          | Reg r
+            when Hashtbl.mem defined r.rid
+                 && (not (Hashtbl.mem defined_so_far r.rid))
+                 && not (List.mem r.rid red_accs) ->
+              raise Reject
+          | _ -> ())
+        (operands i);
+      match dest i with Some r -> Hashtbl.replace defined_so_far r.rid () | None -> ())
+    body_block.instrs;
+  (* accumulators and their update temps may appear only in their own pair *)
+  let count_uses rid =
+    List.fold_left
+      (fun acc i ->
+        acc
+        + List.length (List.filter (function Reg r -> r.rid = rid | _ -> false) (operands i)))
+      0 body_block.instrs
+  in
+  List.iter (fun rid -> if count_uses rid <> 1 then raise Reject) red_accs;
+  List.iter (fun rid -> if count_uses rid <> 1 then raise Reject) red_ts;
+  (* affine analysis *)
+  let has_store = List.exists (function Store _ -> true | _ -> false) body_block.instrs in
+  let n = f.next_reg in
+  let env = Array.make n invariant in
+  Hashtbl.iter (fun rid _ -> env.(rid) <- unknown) defined;
+  List.iter (fun rid -> env.(rid) <- unknown) red_accs;
+  env.(li.l_ivar.rid) <- { stride = Some 1L; konst = None };
+  List.iter
+    (fun i ->
+      match i with
+      | Binop (r, op, a, b) ->
+          env.(r.rid) <- sym_binop op (sym_of_operand env a) (sym_of_operand env b)
+      | Cast (r, (Bitcast | Zext | Sext), a) -> env.(r.rid) <- sym_of_operand env a
+      | Mov (r, a) -> env.(r.rid) <- sym_of_operand env a
+      | Load (r, a) ->
+          (* a load from a loop-invariant address in a store-free loop is
+             itself invariant and can be broadcast at its uses *)
+          env.(r.rid) <-
+            (if (not has_store) && (sym_of_operand env a).stride = Some 0L then invariant
+             else unknown)
+      | _ -> ( match dest i with Some r -> env.(r.rid) <- unknown | None -> ()))
+    body_block.instrs;
+  (* legality of memory accesses *)
+  let addr_stride (a : operand) =
+    match a with
+    | Glob _ -> Some 0L
+    | _ -> (sym_of_operand env a).stride
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Load (r, a) -> (
+          let w = Int64.of_int (Types.bytes (Types.elem r.rty)) in
+          match addr_stride a with
+          | Some s when s = w -> ()
+          | Some 0L when not has_store -> ()
+          | _ -> raise Reject)
+      | Store (v, a) -> (
+          let w = Int64.of_int (Types.bytes (Types.elem (operand_ty None v))) in
+          match addr_stride a with Some s when s = w -> () | _ -> raise Reject)
+      | Binop _ | Fbinop _ | Icmp _ | Fcmp _ | Select _ | Cast _ | Mov _ -> ()
+      | _ -> raise Reject)
+    body_block.instrs;
+
+  (* ---- build the vector loop ---- *)
+  let ctx =
+    {
+      f;
+      nextr = f.next_reg;
+      vmap = Array.make n None;
+      pre = [];
+      body = [];
+      iotas = [];
+      reductions = [];
+    }
+  in
+  (* vector accumulators, initialized to the operation's neutral element *)
+  List.iter
+    (fun (acc, _, iop, fop) ->
+      let elem = Types.elem acc.rty in
+      let vty = Types.Vector (elem, vf) in
+      let vacc = vfresh ctx vty in
+      (match (iop, fop) with
+      | Some op, _ -> ctx.pre <- Mov (vacc, Imm (vty, neutral_int op)) :: ctx.pre
+      | _, Some Fadd -> ctx.pre <- Mov (vacc, Fimm (vty, 0.0)) :: ctx.pre
+      | _, Some Fmul -> ctx.pre <- Mov (vacc, Fimm (vty, 1.0)) :: ctx.pre
+      | _ -> raise Reject);
+      ctx.reductions <- (acc, vacc, iop, fop) :: ctx.reductions;
+      set_vmap ctx acc vacc)
+    reductions;
+  (* rewrite the body *)
+  List.iter
+    (fun i ->
+      let any_vec = List.exists (mentions_vector ctx) (operands i) in
+      match i with
+      | Load (r, a) when (addr_stride a = Some (Int64.of_int (Types.bytes (Types.elem r.rty)))) ->
+          let v = vfresh ctx (Types.Vector (Types.elem r.rty, vf)) in
+          ctx.body <- Load (v, a) :: ctx.body;
+          (* keep the scalar address chain: emit nothing else *)
+          set_vmap ctx r v
+      | Load _ -> ctx.body <- i :: ctx.body (* invariant load stays scalar *)
+      | Store (v, a) ->
+          let wv = widen ctx env v in
+          ctx.body <- Store (wv, a) :: ctx.body
+      | Mov (acc, Reg t) when List.mem acc.rid red_accs && List.mem t.rid red_ts ->
+          let vacc = match ctx.vmap.(acc.rid) with Some v -> v | None -> raise Reject in
+          let vt = match ctx.vmap.(t.rid) with Some v -> v | None -> raise Reject in
+          ctx.body <- Mov (vacc, Reg vt) :: ctx.body
+      | Binop (r, op, a, b) when any_vec || List.mem r.rid red_ts ->
+          let wa = widen ctx env a and wb = widen ctx env b in
+          let elem = Types.elem r.rty in
+          let v = vfresh ctx (Types.Vector (elem, vf)) in
+          ctx.body <- Binop (v, op, wa, wb) :: ctx.body;
+          set_vmap ctx r v
+      | Fbinop (r, op, a, b) when any_vec || List.mem r.rid red_ts ->
+          let wa = widen ctx env a and wb = widen ctx env b in
+          let v = vfresh ctx (Types.Vector (Types.elem r.rty, vf)) in
+          ctx.body <- Fbinop (v, op, wa, wb) :: ctx.body;
+          set_vmap ctx r v
+      | Icmp (r, cc, a, b) when any_vec ->
+          let wa = widen ctx env a and wb = widen ctx env b in
+          let v = vfresh ctx (mask_vty a) in
+          ctx.body <- Icmp (v, cc, wa, wb) :: ctx.body;
+          set_vmap ctx r v
+      | Fcmp (r, cc, a, b) when any_vec ->
+          let wa = widen ctx env a and wb = widen ctx env b in
+          let v = vfresh ctx (mask_vty a) in
+          ctx.body <- Fcmp (v, cc, wa, wb) :: ctx.body;
+          set_vmap ctx r v
+      | Select (r, c, a, b) when any_vec ->
+          let wc = (match c with Reg x when ctx.vmap.(x.rid) <> None -> Reg (Option.get ctx.vmap.(x.rid)) | c -> c) in
+          let wa = widen ctx env a and wb = widen ctx env b in
+          let v = vfresh ctx (Types.Vector (Types.elem r.rty, vf)) in
+          ctx.body <- Select (v, wc, wa, wb) :: ctx.body;
+          set_vmap ctx r v
+      | Cast (r, k, a) when any_vec ->
+          let src = (match a with Reg x -> x | _ -> raise Reject) in
+          let vsrc = match ctx.vmap.(src.rid) with Some v -> v | None -> raise Reject in
+          let delem = Types.elem r.rty in
+          let v = vfresh ctx (Types.Vector (delem, vf)) in
+          (if Types.equal src.rty Types.i1 then
+             (* mask -> integer: zext keeps the low bit, sext is the mask *)
+             match k with
+             | Zext ->
+                 let one = vfresh ctx vsrc.rty in
+                 ctx.body <- Binop (one, And, Reg vsrc, Imm (vsrc.rty, 1L)) :: ctx.body;
+                 if Types.equal v.rty vsrc.rty then ctx.body <- Mov (v, Reg one) :: ctx.body
+                 else if Types.bits delem > Types.bits (Types.elem vsrc.rty) then
+                   ctx.body <- Cast (v, Zext, Reg one) :: ctx.body
+                 else ctx.body <- Cast (v, Trunc, Reg one) :: ctx.body
+             | Sext ->
+                 if Types.equal v.rty vsrc.rty then ctx.body <- Mov (v, Reg vsrc) :: ctx.body
+                 else if Types.bits delem > Types.bits (Types.elem vsrc.rty) then
+                   ctx.body <- Cast (v, Sext, Reg vsrc) :: ctx.body
+                 else ctx.body <- Cast (v, Trunc, Reg vsrc) :: ctx.body
+             | _ -> raise Reject
+           else ctx.body <- Cast (v, k, Reg vsrc) :: ctx.body);
+          set_vmap ctx r v
+      | Binop _ | Fbinop _ | Icmp _ | Fcmp _ | Select _ | Cast _ | Mov _ ->
+          ctx.body <- i :: ctx.body (* pure scalar (address arithmetic etc.) *)
+      | _ -> raise Reject)
+    body_block.instrs;
+
+  (* ---- stitch the CFG ---- *)
+  let ivar = li.l_ivar in
+  let pre_l = "q.pre." ^ li.l_header
+  and head_l = "q.head." ^ li.l_header
+  and body_l = "q.body." ^ li.l_header
+  and latch_l = "q.latch." ^ li.l_header
+  and red_l = "q.reduce." ^ li.l_header in
+  let t = vfresh ctx Types.i64 in
+  let c = vfresh ctx Types.i1 in
+  let head_instrs =
+    [
+      Binop (t, Add, Reg ivar, Imm (Types.i64, Int64.of_int vf));
+      Icmp (c, Isle, Reg t, li.l_hi);
+    ]
+  in
+  (* reduction epilogue: fold the vector lanes into the scalar accumulator *)
+  let red_instrs = ref [] in
+  List.iter
+    (fun (acc, vacc, iop, fop) ->
+      let elem = Types.Scalar (Types.elem acc.rty) in
+      for j = 0 to vf - 1 do
+        let e = vfresh ctx elem in
+        red_instrs := Extractlane (e, Reg vacc, j) :: !red_instrs;
+        match (iop, fop) with
+        | Some op, _ -> red_instrs := Binop (acc, op, Reg acc, Reg e) :: !red_instrs
+        | _, Some op -> red_instrs := Fbinop (acc, op, Reg acc, Reg e) :: !red_instrs
+        | None, None -> assert false
+      done)
+    ctx.reductions;
+  let new_blocks =
+    [
+      (pre_l, { instrs = List.rev ctx.pre; term = Br head_l });
+      (head_l, { instrs = head_instrs; term = Cond_br (Reg c, body_l, red_l) });
+      (body_l, { instrs = List.rev ctx.body; term = Br latch_l });
+      ( latch_l,
+        {
+          instrs = [ Binop (ivar, Add, Reg ivar, Imm (Types.i64, Int64.of_int vf)) ];
+          term = Br head_l;
+        } );
+      (red_l, { instrs = List.rev !red_instrs; term = Br li.l_header });
+    ]
+  in
+  (* entry edges into the loop now go through the vector loop *)
+  let retarget l = if l = li.l_header then pre_l else l in
+  List.iter
+    (fun (l, (b : block)) ->
+      if l <> li.l_latch && l <> latch_l then
+        b.term <-
+          (match b.term with
+          | Br x -> Br (retarget x)
+          | Cond_br (o, a, bb) -> Cond_br (o, retarget a, retarget bb)
+          | Vbr (o, a, bb, r) -> Vbr (o, retarget a, retarget bb, retarget r)
+          | Vbr_unchecked (o, a, bb) -> Vbr_unchecked (o, retarget a, retarget bb)
+          | t -> t))
+    f.blocks;
+  f.blocks <- f.blocks @ new_blocks;
+  f.next_reg <- ctx.nextr;
+  true
+
+(* Attempts every recorded loop of every function; returns how many loops
+   were vectorized. *)
+let run (m : modul) : int =
+  let count = ref 0 in
+  List.iter
+    (fun (f : func) ->
+      List.iter
+        (fun li ->
+          match vectorize_loop f li with
+          | true -> incr count
+          | false -> ()
+          | exception Reject -> ())
+        f.loops)
+    m.funcs;
+  !count

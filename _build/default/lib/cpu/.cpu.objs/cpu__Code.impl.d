@@ -1,0 +1,1 @@
+lib/cpu/code.ml: Array Builtins Cost Hashtbl Instr Int64 Ir List Memory Option Printer Types Value

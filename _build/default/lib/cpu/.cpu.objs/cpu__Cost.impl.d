@@ -1,0 +1,1 @@
+lib/cpu/cost.ml: Array Instr Ir List Types

@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Array Branch_pred Buffer Builtins Cache Code Counters Digest Hashtbl Int64 Ir List Memory Printf Timing Value

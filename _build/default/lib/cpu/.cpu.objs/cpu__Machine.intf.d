@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Branch_pred Buffer Cache Code Counters Hashtbl Ir Memory Timing

@@ -1,0 +1,1 @@
+lib/cpu/timing.ml: Array Cache Cost

@@ -1,0 +1,1 @@
+lib/cpu/value.ml: Array Float Instr Int32 Int64 Ir Types

@@ -1,0 +1,38 @@
+(** Gshare-style branch predictor: 4K two-bit saturating counters indexed by
+    the branch PC xor-folded with a global history register.  Feeds the
+    branch-miss counters of Table II and the mispredict penalty of the
+    timing engine. *)
+
+type t = {
+  table : int array;  (** 2-bit counters, 0..3; >=2 predicts taken *)
+  mutable history : int;
+  mutable branches : int;
+  mutable misses : int;
+}
+
+let table_bits = 12
+let table_size = 1 lsl table_bits
+
+let create () = { table = Array.make table_size 1; history = 0; branches = 0; misses = 0 }
+
+(* Records the outcome of a conditional branch at [pc]; returns [true] when
+   the prediction was wrong. *)
+let record (p : t) ~(pc : int) ~(taken : bool) : bool =
+  p.branches <- p.branches + 1;
+  let idx = (pc lxor p.history) land (table_size - 1) in
+  let ctr = p.table.(idx) in
+  let predicted_taken = ctr >= 2 in
+  let mispredicted = predicted_taken <> taken in
+  if mispredicted then p.misses <- p.misses + 1;
+  p.table.(idx) <- (if taken then min 3 (ctr + 1) else max 0 (ctr - 1));
+  p.history <- ((p.history lsl 1) lor Bool.to_int taken) land (table_size - 1);
+  mispredicted
+
+let miss_ratio (p : t) =
+  if p.branches = 0 then 0.0 else float_of_int p.misses /. float_of_int p.branches
+
+let reset (p : t) =
+  Array.fill p.table 0 table_size 1;
+  p.history <- 0;
+  p.branches <- 0;
+  p.misses <- 0

@@ -1,0 +1,19 @@
+(** Gshare-style branch predictor (4K two-bit counters, global history);
+    feeds the branch-miss counters of Table II and the mispredict flushes
+    of the timing engine. *)
+
+type t = {
+  table : int array;
+  mutable history : int;
+  mutable branches : int;
+  mutable misses : int;
+}
+
+val create : unit -> t
+
+(** Records a conditional branch outcome; returns [true] when the
+    prediction was wrong. *)
+val record : t -> pc:int -> taken:bool -> bool
+
+val miss_ratio : t -> float
+val reset : t -> unit

@@ -1,0 +1,226 @@
+(** Haswell-flavoured micro-operation cost model.
+
+    Every IR instruction lowers to a short array of μops; each μop carries a
+    latency, the set of execution ports it may issue on, and a reciprocal
+    throughput (how long it occupies the chosen port).  The numbers are
+    structural approximations of Intel Haswell (Agner Fog's tables): the
+    simulator's output is normalized ratios, not absolute cycles, so only
+    relative costs matter — in particular the relative cost of scalar ALU
+    ops vs. AVX ops, and of the extract/broadcast/ptest wrappers that
+    dominate ELZAR's overhead (paper §VII-A). *)
+
+open Ir
+
+(* port bitmasks *)
+let p0 = 1
+let p1 = 2
+let p2 = 4
+let p3 = 8
+let p4 = 16
+let p5 = 32
+let p6 = 64
+let p7 = 128
+let p01 = p0 lor p1
+let p06 = p0 lor p6
+let p15 = p1 lor p5
+let p23 = p2 lor p3
+let p237 = p2 lor p3 lor p7
+let p0156 = p0 lor p1 lor p5 lor p6
+
+let nports = 8
+
+type mem = Mnone | Mload | Mstore
+
+type uop = {
+  lat : int;  (** result latency; for loads this is the L1-hit latency *)
+  ports : int;  (** bitmask of ports this μop may issue on *)
+  rt : int;  (** cycles the chosen port stays busy (1 = fully pipelined) *)
+  chain : bool;  (** depends on the previous μop of the same instruction *)
+  mem : mem;
+}
+
+let u ?(rt = 1) ?(chain = false) ?(mem = Mnone) lat ports = { lat; ports; rt; chain; mem }
+
+(* scalar μops *)
+let alu = u 1 p0156
+let shift = u 1 p06
+let imul = u 3 p1
+let idiv = u ~rt:8 26 p0
+let fadd_u = u 3 p1
+let fmul_u = u 5 p01
+let fdiv_u = u ~rt:8 14 p0
+let fcmp_u = u 3 p1
+let cmov = u 2 p06
+let load_u = u ~mem:Mload 4 p23
+let sta = u 1 p237
+let std = u ~chain:false ~mem:Mstore 1 p4
+let jcc = u 1 p6
+
+(* vector μops: AVX has fewer ports and higher latencies than the scalar
+   core, which is one of the two causes of ELZAR's disappointing numbers
+   (paper §I). *)
+let valu = u 1 p15
+let vshift = u 1 p0
+let vmul = u ~rt:2 10 p0
+let vfadd = u 3 p1
+let vfmul = u 5 p01
+let vfdiv = u ~rt:14 21 p0
+let vblend = u 2 p5
+let vshuf = u 3 p5
+let vload = u ~mem:Mload 5 p23
+let vmov = u 1 p15
+
+(* extract: cross-lane shuffle + vector->GPR move *)
+let extract_seq = [| u 3 p5; u ~chain:true 2 p0 |]
+
+(* broadcast: GPR->vector move + lane replication *)
+let broadcast_seq = [| u 1 p5; u ~chain:true 3 p5 |]
+
+(* ptest: two μops (p0 + p5); the flag consumer is the branch that follows *)
+let ptest_seq = [| u 2 p0; u ~chain:true 2 p5 |]
+
+let mispredict_penalty = 16
+
+(* A cache miss occupies the core's memory pipe for this many cycles: one
+   64-byte line per 22 cycles at 2 GHz is ~5.8 GB/s of per-core sustained
+   bandwidth.  This is what makes memory-bound benchmarks (mmul, memcached)
+   amortize hardening overheads, as the paper observes (§V-B, §VI). *)
+let membus_rt = 22
+
+(* A vector operation with no AVX2 encoding is scalarized by the code
+   generator: per lane, extract + scalar op + insert (paper §IV-A: "we can
+   still write it in an LLVM vector form, and the x86 code generator
+   automatically converts it to four regular division instructions").  *)
+let scalarized n (op : uop) : uop array =
+  Array.concat
+    (List.init n (fun _ ->
+         [| u 3 p5; { op with chain = true }; u ~chain:true 2 p5 |]))
+
+let int_binop_uop (op : Instr.binop) : uop =
+  match op with
+  | Instr.Add | Instr.Sub | Instr.And | Instr.Or | Instr.Xor -> alu
+  | Instr.Mul -> imul
+  | Instr.Sdiv | Instr.Udiv | Instr.Srem | Instr.Urem -> idiv
+  | Instr.Shl | Instr.Lshr | Instr.Ashr -> shift
+
+let fbinop_uop (op : Instr.fbinop) : uop =
+  match op with
+  | Instr.Fadd | Instr.Fsub -> fadd_u
+  | Instr.Fmul -> fmul_u
+  | Instr.Fdiv -> fdiv_u
+
+(* vpmullq is AVX-512 only: on AVX2 a <4 x i64> multiply lowers to the
+   vpmuludq + shift + add magic sequence (3 partial products combined). *)
+let i64_vmul_seq =
+  [| vmul; vmul; vmul; vshift; u ~chain:true 1 p15; vshift; u ~chain:true 1 p15 |]
+
+let vec_binop_uops (s : Types.scalar) (n : int) (op : Instr.binop) : uop array =
+  match op with
+  | Instr.Add | Instr.Sub | Instr.And | Instr.Or | Instr.Xor -> [| valu |]
+  | Instr.Shl | Instr.Lshr | Instr.Ashr -> [| vshift |]
+  | Instr.Mul -> if s = Types.I64 || s = Types.Ptr then i64_vmul_seq else [| vmul |]
+  | Instr.Sdiv | Instr.Udiv | Instr.Srem | Instr.Urem ->
+      (* integer division has no AVX counterpart (paper §II-C) *)
+      scalarized n idiv
+
+let vec_fbinop_uops (op : Instr.fbinop) : uop array =
+  match op with
+  | Instr.Fadd | Instr.Fsub -> [| vfadd |]
+  | Instr.Fmul -> [| vfmul |]
+  | Instr.Fdiv -> [| vfdiv |]
+
+let vec_cast_uops (k : Instr.cast) ~(from : Types.scalar) ~(dst : Types.scalar)
+    ~(lanes : int) : uop array =
+  (* four source replicas carry the redundancy; wider destinations are
+     re-duplicated with one extra shuffle *)
+  let scalarized4 op =
+    if lanes > 4 then Array.append (scalarized 4 op) [| vshuf |] else scalarized lanes op
+  in
+  match k with
+  | Instr.Bitcast -> [||]
+  | Instr.Zext | Instr.Sext -> [| vshuf |]  (* vpmovsx/vpmovzx: widen in one μop *)
+  | Instr.Trunc ->
+      (* narrowing conversions are missing from AVX2 (§VII-A "Missing
+         instructions"); the codegen scalarizes them *)
+      scalarized4 alu
+  | Instr.Fpext | Instr.Fptrunc -> [| u 4 p1; u ~chain:true 3 p5 |]
+  | Instr.Sitofp | Instr.Fptosi ->
+      if from = Types.I64 || dst = Types.I64 then scalarized4 (u 6 p1)
+      else [| u 4 p1; u ~chain:true 3 p5 |]
+
+let scalar_cast_uops (k : Instr.cast) ~(from : Types.scalar) ~(dst : Types.scalar) :
+    uop array =
+  ignore from;
+  ignore dst;
+  match k with
+  | Instr.Bitcast ->
+      if Types.is_float from <> Types.is_float dst then [| u 2 p5 |] else [||]
+  | Instr.Trunc | Instr.Zext | Instr.Sext -> [| alu |]
+  | Instr.Sitofp | Instr.Fptosi -> [| u 6 p1 |]
+  | Instr.Fpext | Instr.Fptrunc -> [| u 3 p1 |]
+
+(* call/return control μops; the callee body is costed separately *)
+let call_seq = [| u 2 p6; u 1 p237; u ~mem:Mstore 1 p4 |]
+let ret_seq = [| u ~mem:Mload 4 p23; u ~chain:true 2 p6 |]
+
+let atomic_seq = [| u ~mem:Mload 4 p23; u ~chain:true ~rt:8 16 p0 |]
+
+let is_vec_operand (o : Instr.operand) = Types.is_vector (Instr.operand_ty None o)
+
+let is_avx (i : Instr.t) =
+  (match Instr.dest i with Some r -> Types.is_vector r.rty | None -> false)
+  || List.exists is_vec_operand (Instr.operands i)
+
+(* μop lowering of one IR instruction. *)
+let of_instr (i : Instr.t) : uop array =
+  match i with
+  | Instr.Binop (r, op, _, _) -> (
+      match r.rty with
+      | Types.Scalar _ -> [| int_binop_uop op |]
+      | Types.Vector (s, n) -> vec_binop_uops s n op)
+  | Instr.Fbinop (r, op, _, _) -> (
+      match r.rty with
+      | Types.Scalar _ -> [| fbinop_uop op |]
+      | Types.Vector _ -> vec_fbinop_uops op)
+  | Instr.Icmp (r, _, _, _) ->
+      if Types.is_vector r.rty then [| valu |] else [| alu |]
+  | Instr.Fcmp (r, _, _, _) ->
+      if Types.is_vector r.rty then [| vfadd |] else [| fcmp_u |]
+  | Instr.Select (r, _, _, _) ->
+      if Types.is_vector r.rty then [| vblend |] else [| cmov |]
+  | Instr.Cast (r, k, o) -> (
+      let from = Types.elem (Instr.operand_ty None o) in
+      match r.rty with
+      | Types.Scalar dst -> scalar_cast_uops k ~from ~dst
+      | Types.Vector (dst, n) -> vec_cast_uops k ~from ~dst ~lanes:n)
+  | Instr.Mov (r, _) -> if Types.is_vector r.rty then [| vmov |] else [| alu |]
+  | Instr.Load (r, _) -> if Types.is_vector r.rty then [| vload |] else [| load_u |]
+  | Instr.Store _ -> [| sta; std |]
+  | Instr.Alloca _ -> [| alu |]
+  | Instr.Call _ | Instr.Call_ind _ -> call_seq
+  | Instr.Atomic_rmw _ | Instr.Cmpxchg _ -> atomic_seq
+  | Instr.Extractlane _ -> extract_seq
+  | Instr.Insertlane _ -> [| u 2 p5; u ~chain:true 2 p5 |]
+  | Instr.Broadcast _ -> broadcast_seq
+  | Instr.Shuffle _ -> [| vshuf |]
+  | Instr.Ptestz _ -> ptest_seq
+  | Instr.Gather _ ->
+      (* modeled on the improved gather the paper asks for (§VII-B) *)
+      [| u ~mem:Mload 8 p23; u ~chain:true 3 p5 |]
+  | Instr.Scatter _ -> [| u 3 p5; sta; std |]
+
+(* μop lowering of a terminator.  [Vbr] is the AVX branching sequence of the
+   paper's Fig. 7/9: vptest plus two conditional jumps (je + ja).  When
+   [flags_cmp] is set (the proposed FLAGS-setting AVX comparison of §VII-B),
+   the ptest disappears and a single jcc remains. *)
+let of_term ?(flags_cmp = false) (t : Instr.terminator) : uop array =
+  match t with
+  | Instr.Ret _ -> ret_seq
+  | Instr.Br _ -> [| u 1 p6 |]
+  | Instr.Cond_br _ -> [| jcc |]
+  | Instr.Vbr _ ->
+      if flags_cmp then [| jcc |]
+      else Array.append ptest_seq [| { jcc with chain = true }; { jcc with chain = true } |]
+  | Instr.Vbr_unchecked _ ->
+      if flags_cmp then [| jcc |] else Array.append ptest_seq [| { jcc with chain = true } |]
+  | Instr.Unreachable -> [||]

@@ -1,0 +1,73 @@
+(** Haswell-flavoured micro-operation cost model: every IR instruction
+    lowers to a short μop array with latencies, allowed execution ports and
+    reciprocal throughputs.  Only relative costs matter (the simulator
+    reports normalized ratios): in particular scalar vs. AVX ops, and the
+    extract/broadcast/ptest wrappers that dominate ELZAR's overhead
+    (paper §VII-A). *)
+
+(** {1 Port bitmasks (Haswell p0..p7)} *)
+
+val p0 : int
+val p1 : int
+val p2 : int
+val p3 : int
+val p4 : int
+val p5 : int
+val p6 : int
+val p7 : int
+val p01 : int
+val p06 : int
+val p15 : int
+val p23 : int
+val p237 : int
+val p0156 : int
+val nports : int
+
+type mem = Mnone | Mload | Mstore
+
+type uop = {
+  lat : int;  (** result latency; for loads, the L1-hit latency *)
+  ports : int;  (** bitmask of ports this μop may issue on *)
+  rt : int;  (** cycles the chosen port stays busy *)
+  chain : bool;  (** depends on the previous μop of the same instruction *)
+  mem : mem;
+}
+
+val u : ?rt:int -> ?chain:bool -> ?mem:mem -> int -> int -> uop
+
+(** {1 Reference μops} (exposed for the timing tests) *)
+
+val alu : uop
+val imul : uop
+val idiv : uop
+val fadd_u : uop
+val fmul_u : uop
+val fdiv_u : uop
+val load_u : uop
+val jcc : uop
+val valu : uop
+val vmul : uop
+val vfadd : uop
+val vfmul : uop
+val vfdiv : uop
+val vshuf : uop
+
+val mispredict_penalty : int
+
+(** Cycles one L1 miss occupies the per-core memory pipe (~5.8 GB/s
+    sustained at the 2 GHz clock). *)
+val membus_rt : int
+
+(** A vector operation with no AVX2 encoding is scalarized by the code
+    generator: per lane, extract + scalar op + insert (paper §IV-A). *)
+val scalarized : int -> uop -> uop array
+
+val is_avx : Ir.Instr.t -> bool
+
+(** μop lowering of one IR instruction. *)
+val of_instr : Ir.Instr.t -> uop array
+
+(** μop lowering of a terminator.  [Vbr] is the AVX branching sequence of
+    the paper's Figs. 7/9 (vptest + je + ja); with [flags_cmp] (the
+    proposed FLAGS-setting AVX comparison of §VII-B) the ptest disappears. *)
+val of_term : ?flags_cmp:bool -> Ir.Instr.terminator -> uop array

@@ -1,0 +1,60 @@
+(** Per-core performance counters, the moral equivalent of the paper's
+    perf-stat raw-event collection (Tables II and III). *)
+
+type t = {
+  mutable instrs : int;  (** retired IR instructions (incl. terminators) *)
+  mutable uops : int;
+  mutable avx_instrs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable branch_misses : int;
+  mutable l1_refs : int;
+  mutable l1_misses : int;
+  mutable cycles : int;
+}
+
+let create () =
+  {
+    instrs = 0;
+    uops = 0;
+    avx_instrs = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    branch_misses = 0;
+    l1_refs = 0;
+    l1_misses = 0;
+    cycles = 0;
+  }
+
+let add (a : t) (b : t) : t =
+  {
+    instrs = a.instrs + b.instrs;
+    uops = a.uops + b.uops;
+    avx_instrs = a.avx_instrs + b.avx_instrs;
+    loads = a.loads + b.loads;
+    stores = a.stores + b.stores;
+    branches = a.branches + b.branches;
+    branch_misses = a.branch_misses + b.branch_misses;
+    l1_refs = a.l1_refs + b.l1_refs;
+    l1_misses = a.l1_misses + b.l1_misses;
+    cycles = max a.cycles b.cycles;
+  }
+
+let zero = create
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+(* Instruction-level parallelism achieved on one core (Table III). *)
+let ilp (c : t) = ratio c.instrs c.cycles
+let l1_miss_pct (c : t) = 100.0 *. ratio c.l1_misses c.l1_refs
+let branch_miss_pct (c : t) = 100.0 *. ratio c.branch_misses c.branches
+let loads_pct (c : t) = 100.0 *. ratio c.loads c.instrs
+let stores_pct (c : t) = 100.0 *. ratio c.stores c.instrs
+let branches_pct (c : t) = 100.0 *. ratio c.branches c.instrs
+
+let pp fmt (c : t) =
+  Format.fprintf fmt
+    "instrs=%d uops=%d avx=%d loads=%d stores=%d branches=%d cycles=%d ilp=%.2f"
+    c.instrs c.uops c.avx_instrs c.loads c.stores c.branches c.cycles (ilp c)

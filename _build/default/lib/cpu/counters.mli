@@ -1,0 +1,30 @@
+(** Per-core performance counters, the moral equivalent of the paper's
+    perf-stat raw-event collection (Tables II and III). *)
+
+type t = {
+  mutable instrs : int;  (** retired IR instructions (incl. terminators) *)
+  mutable uops : int;  (** μops — the x86-instruction proxy *)
+  mutable avx_instrs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable branch_misses : int;
+  mutable l1_refs : int;
+  mutable l1_misses : int;
+  mutable cycles : int;  (** busy span of the core *)
+}
+
+val create : unit -> t
+
+(** Pointwise sum; [cycles] is the max (cores run in parallel). *)
+val add : t -> t -> t
+
+val zero : unit -> t
+val ratio : int -> int -> float
+val ilp : t -> float
+val l1_miss_pct : t -> float
+val branch_miss_pct : t -> float
+val loads_pct : t -> float
+val stores_pct : t -> float
+val branches_pct : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,736 @@
+(** The simulated multicore machine.
+
+    Executes compiled code functionally (bit-exact lane semantics from
+    {!Value}) while driving one {!Timing} engine, {!Cache} and
+    {!Branch_pred} per core.  Threads map 1:1 onto cores, as in the paper's
+    testbed; the scheduler always advances the thread whose core clock is
+    furthest behind, which makes lock contention and join edges show up in
+    wall-clock cycles.  Also hosts the native builtins (OS/pthreads/IO —
+    unhardened, §IV-A) and the single-bit fault-injection hook (§IV-B). *)
+
+type trap_reason =
+  | Segfault of int64
+  | Div_by_zero
+  | Aborted
+  | Elzar_fatal  (** recovery found no majority: detected but uncorrectable *)
+  | Bad_callee of int64
+  | Deadlock
+  | Unreachable_executed
+  | Hang  (** instruction budget exhausted *)
+
+exception Trap of trap_reason
+
+let string_of_trap = function
+  | Segfault a -> Printf.sprintf "segfault at 0x%Lx" a
+  | Div_by_zero -> "division by zero"
+  | Aborted -> "abort() called"
+  | Elzar_fatal -> "elzar: uncorrectable fault (no majority)"
+  | Bad_callee a -> Printf.sprintf "indirect call to 0x%Lx" a
+  | Deadlock -> "deadlock"
+  | Unreachable_executed -> "unreachable executed"
+  | Hang -> "instruction budget exhausted"
+
+type frame = {
+  cf : Code.cfunc;
+  regs : int64 array;
+  ready : int array;
+  mutable pc : int;
+  ret_off : int;  (** slot in the caller frame for the return value; -1 *)
+  saved_sp : int64;
+}
+
+type status = Running | Waiting of int | Waiting_barrier of int64 | Done
+
+type thread = {
+  tid : int;
+  mutable frames : frame list;
+  timing : Timing.t;
+  cache : Cache.t;
+  bpred : Branch_pred.t;
+  ctr : Counters.t;
+  mutable status : status;
+  mutable sp : int64;
+  start_cycle : int;
+  mutable final_cycle : int;
+}
+
+type inject = {
+  at : int;
+  lane : int;
+  bit : int;
+  second : (int * int) option;  (** optional second (lane, bit) flip in the
+                                    same destination — multi-bit SEU *)
+}
+
+type config = {
+  max_instrs : int;
+  inject : inject option;
+  count_inject_sites : bool;
+  stack_size : int;
+  trace : Buffer.t option;
+      (** per-instruction execution trace (requires [debug] compilation);
+          capped at ~1 MB — the Intel SDE debugtrace analogue of §IV-B *)
+}
+
+let default_config =
+  {
+    max_instrs = 400_000_000;
+    inject = None;
+    count_inject_sites = false;
+    stack_size = 1 lsl 17;
+    trace = None;
+  }
+
+type t = {
+  code : Code.t;
+  mem : Memory.t;
+  mutable threads : thread list;  (** reverse spawn order *)
+  mutable nthreads : int;
+  output : Buffer.t;
+  alloc_sizes : (int64, int) Hashtbl.t;
+  cfg : config;
+  mutable total_instrs : int;
+  mutable inj_count : int;  (** injection-eligible instructions executed *)
+  mutable injected : bool;
+  mutable recovered : int;  (** recovery-routine activations *)
+}
+
+type result = {
+  wall_cycles : int;
+  counters : Counters.t list;  (** one per thread, spawn order *)
+  totals : Counters.t;
+  output_digest : string;
+  output_bytes : string;
+  trap : trap_reason option;
+  recovered_faults : int;
+  inject_sites : int;
+  fault_injected : bool;
+}
+
+let create ?(cfg = default_config) ?(flags_cmp = false) (m : Ir.Instr.modul) : t =
+  let mem = Memory.create () in
+  let code = Code.compile ~debug:(cfg.trace <> None) ~flags_cmp m mem in
+  {
+    code;
+    mem;
+    threads = [];
+    nthreads = 0;
+    output = Buffer.create 256;
+    alloc_sizes = Hashtbl.create 64;
+    cfg;
+    total_instrs = 0;
+    inj_count = 0;
+    injected = false;
+    recovered = 0;
+  }
+
+(* Address of a named global, for host-side input preparation (the moral
+   equivalent of the benchmark reading its input file — unhardened I/O that
+   costs no simulated cycles). *)
+let global_addr (m : t) name =
+  match Hashtbl.find_opt m.code.Code.globals name with
+  | Some a -> a
+  | None -> invalid_arg ("Machine.global_addr: unknown global " ^ name)
+
+(* ---- operand access ---- *)
+
+let get_lane (regs : int64 array) (o : Code.rop) (j : int) : int64 =
+  match o with
+  | Code.Oslot (off, lanes) -> regs.(off + if lanes = 1 then 0 else j mod lanes)
+  | Code.Oconst a -> a.(if Array.length a = 1 then 0 else j mod Array.length a)
+
+let get_scalar (regs : int64 array) (o : Code.rop) : int64 =
+  match o with Code.Oslot (off, _) -> regs.(off) | Code.Oconst a -> a.(0)
+
+(* ---- threads ---- *)
+
+let new_frame (cf : Code.cfunc) ~ret_off ~sp : frame =
+  {
+    cf;
+    regs = Array.make (max cf.Code.nslots 1) 0L;
+    ready = Array.make (max cf.Code.nslots 1) 0;
+    pc = 0;
+    ret_off;
+    saved_sp = sp;
+  }
+
+let spawn_thread (m : t) (cf : Code.cfunc) (args : int64 array) ~(start_cycle : int) : thread =
+  let stack_base = Memory.alloc_stack m.mem m.cfg.stack_size in
+  let sp = Int64.add stack_base (Int64.of_int m.cfg.stack_size) in
+  let fr = new_frame cf ~ret_off:(-1) ~sp in
+  Array.iteri
+    (fun i v ->
+      if i < Array.length cf.Code.param_offs then begin
+        let off, lanes = cf.Code.param_offs.(i) in
+        for j = 0 to lanes - 1 do
+          fr.regs.(off + j) <- v
+        done
+      end)
+    args;
+  let timing = Timing.create () in
+  Timing.sync_to timing start_cycle;
+  let th =
+    {
+      tid = m.nthreads;
+      frames = [ fr ];
+      timing;
+      cache = Cache.create ();
+      bpred = Branch_pred.create ();
+      ctr = Counters.create ();
+      status = Running;
+      sp;
+      start_cycle;
+      final_cycle = 0;
+    }
+  in
+  m.threads <- th :: m.threads;
+  m.nthreads <- m.nthreads + 1;
+  th
+
+let wake_joiners (m : t) (finished : thread) =
+  List.iter
+    (fun th ->
+      match th.status with
+      | Waiting tid when tid = finished.tid ->
+          th.status <- Running;
+          Timing.sync_to th.timing finished.final_cycle
+      | _ -> ())
+    m.threads
+
+let finish_thread (m : t) (th : thread) =
+  th.status <- Done;
+  th.final_cycle <- Timing.cycle th.timing;
+  (* busy span, for per-core IPC (Table III) *)
+  th.ctr.Counters.cycles <- th.final_cycle - th.start_cycle;
+  wake_joiners m th
+
+let find_thread (m : t) tid = List.find_opt (fun th -> th.tid = tid) m.threads
+
+(* ---- builtins ---- *)
+
+type baction = Bdone | Bretry | Bblock of int | Bbarrier of int64
+
+let exec_builtin (m : t) (th : thread) (fr : frame) (id : int) (args : int64 array)
+    (dst : int) (dlanes : int) : baction =
+  let spec = Builtins.get id in
+  let retv = ref 0L in
+  let action = ref Bdone in
+  (match spec.Builtins.name with
+  | "malloc" ->
+      let size = Int64.to_int args.(0) in
+      let p = Memory.malloc m.mem size in
+      Hashtbl.replace m.alloc_sizes p size;
+      retv := p
+  | "free" -> (
+      match Hashtbl.find_opt m.alloc_sizes args.(0) with
+      | Some size ->
+          Hashtbl.remove m.alloc_sizes args.(0);
+          Memory.free m.mem args.(0) size
+      | None -> raise (Trap (Segfault args.(0))))
+  | "spawn" ->
+      let f = args.(0) in
+      let fid = Int64.to_int (Int64.sub f Code.fnptr_base) in
+      if f < Code.fnptr_base || fid >= Array.length m.code.Code.cfuncs then
+        raise (Trap (Bad_callee f));
+      let child =
+        spawn_thread m m.code.Code.cfuncs.(fid) [| args.(1) |]
+          ~start_cycle:(Timing.cycle th.timing)
+      in
+      retv := Int64.of_int child.tid
+  | "join" -> (
+      let tid = Int64.to_int args.(0) in
+      match find_thread m tid with
+      | Some target when target.status = Done -> Timing.sync_to th.timing target.final_cycle
+      | Some _ -> action := Bblock tid
+      | None -> raise (Trap (Bad_callee args.(0))))
+  | "lock" ->
+      let v = Memory.read m.mem ~width:8 args.(0) in
+      if v = 0L then Memory.write m.mem ~width:8 args.(0) 1L
+      else begin
+        (* spin: burn cycles and retry on the next scheduling round *)
+        Timing.advance th.timing 60;
+        action := Bretry
+      end
+  | "unlock" -> Memory.write m.mem ~width:8 args.(0) 0L
+  | "barrier" ->
+      (* pthread_barrier_wait: the cell holds the arrival count; the last
+         arriver resets it and releases everyone at its clock *)
+      let addr = args.(0) and n = args.(1) in
+      let count = Int64.add (Memory.read m.mem ~width:8 addr) 1L in
+      if count >= n then begin
+        Memory.write m.mem ~width:8 addr 0L;
+        let now = Timing.cycle th.timing in
+        List.iter
+          (fun other ->
+            match other.status with
+            | Waiting_barrier a when a = addr ->
+                other.status <- Running;
+                Timing.sync_to other.timing now
+            | _ -> ())
+          m.threads
+      end
+      else begin
+        Memory.write m.mem ~width:8 addr count;
+        action := Bbarrier addr
+      end
+  | "output_i64" | "output_f64" ->
+      Buffer.add_int64_le m.output args.(0)
+  | "output_bytes" ->
+      let p = args.(0) and len = Int64.to_int args.(1) in
+      Memory.check m.mem p (max len 1);
+      Buffer.add_subbytes m.output m.mem.Memory.data (Int64.to_int p) len
+  | "rand64" ->
+      (* xorshift64* over a state cell in simulated memory *)
+      let s = Memory.read m.mem ~width:8 args.(0) in
+      let s = if s = 0L then 0x9E3779B97F4A7C15L else s in
+      let s = Int64.logxor s (Int64.shift_left s 13) in
+      let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+      let s = Int64.logxor s (Int64.shift_left s 17) in
+      Memory.write m.mem ~width:8 args.(0) s;
+      retv := Int64.mul s 0x2545F4914F6CDD1DL
+  | "abort" -> raise (Trap Aborted)
+  | "elzar_fatal" -> raise (Trap Elzar_fatal)
+  | "elzar_recovered" -> m.recovered <- m.recovered + 1
+  | "thread_id" -> retv := Int64.of_int th.tid
+  | other -> failwith ("Machine.exec_builtin: unhandled builtin " ^ other));
+  if !action = Bdone then begin
+    Timing.advance th.timing spec.Builtins.cycles;
+    if dst >= 0 then
+      for j = 0 to dlanes - 1 do
+        fr.regs.(dst + j) <- !retv;
+        fr.ready.(dst + j) <- Timing.cycle th.timing
+      done
+  end;
+  !action
+
+(* ---- interpreter ---- *)
+
+let majority4 (lanes : int64 array) ~(off : int) ~(n : int) (get : int -> int64) : int64 =
+  ignore lanes;
+  ignore off;
+  (* value appearing at least twice among n lanes; raises if none *)
+  let rec pick i =
+    if i >= n then raise (Trap Elzar_fatal)
+    else begin
+      let v = get i in
+      let count = ref 0 in
+      for j = 0 to n - 1 do
+        if get j = v then incr count
+      done;
+      if !count >= 2 || n = 1 then v else pick (i + 1)
+    end
+  in
+  pick 0
+
+(* Executes one instruction of [th]; returns [false] when the thread left
+   the Running state or terminated. *)
+let step (m : t) (th : thread) : bool =
+  let fr = List.hd th.frames in
+  let it = fr.cf.Code.code.(fr.pc) in
+  (match m.cfg.trace with
+  | Some buf when Buffer.length buf < 1_000_000 && Array.length fr.cf.Code.texts > fr.pc ->
+      Buffer.add_string buf
+        (Printf.sprintf "T%d %c@%s+%d: %s\n" th.tid
+           (if fr.cf.Code.cf_hardened then 'H' else '.')
+           fr.cf.Code.cf_name fr.pc fr.cf.Code.texts.(fr.pc))
+  | _ -> ());
+  m.total_instrs <- m.total_instrs + 1;
+  if m.total_instrs > m.cfg.max_instrs then raise (Trap Hang);
+  let ctr = th.ctr in
+  ctr.Counters.instrs <- ctr.Counters.instrs + 1;
+  ctr.Counters.uops <- ctr.Counters.uops + Array.length it.Code.uops;
+  let fl = it.Code.flags in
+  if fl land Code.fl_avx <> 0 then ctr.Counters.avx_instrs <- ctr.Counters.avx_instrs + 1;
+  if fl land Code.fl_load <> 0 then ctr.Counters.loads <- ctr.Counters.loads + 1;
+  if fl land Code.fl_store <> 0 then ctr.Counters.stores <- ctr.Counters.stores + 1;
+  if fl land Code.fl_branch <> 0 then ctr.Counters.branches <- ctr.Counters.branches + 1;
+  (* input readiness *)
+  let ready = ref 0 in
+  Array.iter
+    (fun s ->
+      if fr.ready.(s) > !ready then ready := fr.ready.(s))
+    it.Code.srcs;
+  let regs = fr.regs in
+  let mem_lat = ref 0 in
+  let touch addr width =
+    let lat = Cache.access th.cache addr in
+    ctr.Counters.l1_refs <- ctr.Counters.l1_refs + 1;
+    if lat > Cache.hit_latency then ctr.Counters.l1_misses <- ctr.Counters.l1_misses + 1;
+    if lat > !mem_lat then mem_lat := lat;
+    ignore width
+  in
+  let continue_ = ref true in
+  let next_pc = ref (fr.pc + 1) in
+  let branch_info = ref None in
+  (* (taken, always_mispredict) *)
+  (match it.Code.op with
+  | Code.Rbinop (d, n, f, a, b) -> (
+      try
+        for j = 0 to n - 1 do
+          regs.(d + j) <- f (get_lane regs a j) (get_lane regs b j)
+        done
+      with Value.Division_by_zero -> raise (Trap Div_by_zero))
+  | Code.Ricmp (d, n, p, tmask, a, b) ->
+      for j = 0 to n - 1 do
+        regs.(d + j) <- (if p (get_lane regs a j) (get_lane regs b j) then tmask else 0L)
+      done
+  | Code.Rselect (d, n, c, a, b) ->
+      for j = 0 to n - 1 do
+        regs.(d + j) <- (if get_lane regs c j <> 0L then get_lane regs a j else get_lane regs b j)
+      done
+  | Code.Rcast (d, n, f, a) ->
+      for j = 0 to n - 1 do
+        regs.(d + j) <- f (get_lane regs a j)
+      done
+  | Code.Rmov (d, n, a) ->
+      for j = 0 to n - 1 do
+        regs.(d + j) <- get_lane regs a j
+      done
+  | Code.Rload (d, w, a) -> (
+      let addr = get_scalar regs a in
+      try
+        regs.(d) <- Memory.read m.mem ~width:w addr;
+        touch addr w
+      with Memory.Fault x -> raise (Trap (Segfault x)))
+  | Code.Rvload (d, n, w, a) -> (
+      let addr = get_scalar regs a in
+      try
+        for j = 0 to n - 1 do
+          regs.(d + j) <-
+            Memory.read m.mem ~width:w (Int64.add addr (Int64.of_int (j * w)))
+        done;
+        touch addr w
+      with Memory.Fault x -> raise (Trap (Segfault x)))
+  | Code.Rstore (w, v, a) -> (
+      let addr = get_scalar regs a in
+      try
+        Memory.write m.mem ~width:w addr (get_scalar regs v);
+        touch addr w
+      with Memory.Fault x -> raise (Trap (Segfault x)))
+  | Code.Rvstore (n, w, v, a) -> (
+      let addr = get_scalar regs a in
+      try
+        for j = 0 to n - 1 do
+          Memory.write m.mem ~width:w
+            (Int64.add addr (Int64.of_int (j * w)))
+            (get_lane regs v j)
+        done;
+        touch addr w
+      with Memory.Fault x -> raise (Trap (Segfault x)))
+  | Code.Ralloca (d, size) ->
+      th.sp <- Int64.sub th.sp (Int64.of_int (Memory.align16 size));
+      regs.(d) <- th.sp
+  | Code.Rcall (callee, argops, dst, dlanes) -> (
+      let args = Array.map (fun o -> get_scalar regs o) argops in
+      match callee with
+      | Code.Direct fid ->
+          let cf = m.code.Code.cfuncs.(fid) in
+          let completion = Timing.exec th.timing ~ready:!ready ~mem_lat:4 it.Code.uops in
+          let nf = new_frame cf ~ret_off:dst ~sp:th.sp in
+          Array.iteri
+            (fun i v ->
+              let off, lanes = cf.Code.param_offs.(i) in
+              for j = 0 to lanes - 1 do
+                nf.regs.(off + j) <- v
+              done;
+              nf.ready.(off) <- completion)
+            args;
+          fr.pc <- fr.pc + 1 (* resume after the call on return *);
+          th.frames <- nf :: th.frames;
+          next_pc := -1
+      | Code.Builtin id -> (
+          match exec_builtin m th fr id args dst dlanes with
+          | Bdone -> ()
+          | Bretry ->
+              next_pc := fr.pc;
+              continue_ := false
+          | Bblock tid ->
+              th.status <- Waiting tid;
+              next_pc := fr.pc + 1;
+              continue_ := false
+          | Bbarrier addr ->
+              th.status <- Waiting_barrier addr;
+              next_pc := fr.pc + 1;
+              continue_ := false))
+  | Code.Rcall_ind (fp, argops, dst, dlanes) ->
+      let f = get_scalar regs fp in
+      let fid = Int64.to_int (Int64.sub f Code.fnptr_base) in
+      if f < Code.fnptr_base || fid >= Array.length m.code.Code.cfuncs then
+        raise (Trap (Bad_callee f));
+      let args = Array.map (fun o -> get_scalar regs o) argops in
+      let cf = m.code.Code.cfuncs.(fid) in
+      let completion = Timing.exec th.timing ~ready:!ready ~mem_lat:4 it.Code.uops in
+      let nf = new_frame cf ~ret_off:dst ~sp:th.sp in
+      Array.iteri
+        (fun i v ->
+          let off, lanes = cf.Code.param_offs.(i) in
+          for j = 0 to lanes - 1 do
+            nf.regs.(off + j) <- v
+          done;
+          nf.ready.(off) <- completion)
+        args;
+      ignore dlanes;
+      fr.pc <- fr.pc + 1 (* resume after the call on return *);
+      th.frames <- nf :: th.frames;
+      next_pc := -1
+  | Code.Ratomic (op, d, a, x, w) -> (
+      let addr = get_scalar regs a in
+      try
+        let old = Memory.read m.mem ~width:w addr in
+        let v = get_scalar regs x in
+        let nv =
+          match op with
+          | Ir.Instr.Rmw_add -> Int64.add old v
+          | Ir.Instr.Rmw_sub -> Int64.sub old v
+          | Ir.Instr.Rmw_xchg -> v
+          | Ir.Instr.Rmw_and -> Int64.logand old v
+          | Ir.Instr.Rmw_or -> Int64.logor old v
+        in
+        Memory.write m.mem ~width:w addr (Value.mask_of_width (w * 8) |> Int64.logand nv);
+        regs.(d) <- old;
+        touch addr w
+      with Memory.Fault x -> raise (Trap (Segfault x)))
+  | Code.Rcmpxchg (d, a, e, dv, w) -> (
+      let addr = get_scalar regs a in
+      try
+        let old = Memory.read m.mem ~width:w addr in
+        if old = get_scalar regs e then Memory.write m.mem ~width:w addr (get_scalar regs dv);
+        regs.(d) <- old;
+        touch addr w
+      with Memory.Fault x -> raise (Trap (Segfault x)))
+  | Code.Rextract (d, v, l) -> regs.(d) <- get_lane regs v l
+  | Code.Rinsert (d, n, v, l, s) ->
+      for j = 0 to n - 1 do
+        regs.(d + j) <- (if j = l then get_scalar regs s else get_lane regs v j)
+      done
+  | Code.Rbroadcast (d, n, s) ->
+      let x = get_scalar regs s in
+      for j = 0 to n - 1 do
+        regs.(d + j) <- x
+      done
+  | Code.Rshuffle (d, n, v, perm) ->
+      let tmp = Array.init n (fun j -> get_lane regs v j) in
+      for j = 0 to n - 1 do
+        regs.(d + j) <- tmp.(perm.(j))
+      done
+  | Code.Rptestz (d, v) ->
+      let all_zero = ref true in
+      (match v with
+      | Code.Oslot (off, lanes) ->
+          for j = 0 to lanes - 1 do
+            if regs.(off + j) <> 0L then all_zero := false
+          done
+      | Code.Oconst a -> Array.iter (fun x -> if x <> 0L then all_zero := false) a);
+      regs.(d) <- (if !all_zero then 1L else 0L)
+  | Code.Rgather (d, n, w, a) -> (
+      (* FPGA-checked gather: majority-vote the replicated address, load
+         once, replicate (closes the extract window of vulnerability) *)
+      let alanes = match a with Code.Oslot (_, l) -> l | Code.Oconst c -> Array.length c in
+      let disagree = ref false in
+      let a0 = get_lane regs a 0 in
+      for j = 1 to alanes - 1 do
+        if get_lane regs a j <> a0 then disagree := true
+      done;
+      let addr = majority4 regs ~off:0 ~n:alanes (fun j -> get_lane regs a j) in
+      if !disagree then m.recovered <- m.recovered + 1;
+      try
+        let v = Memory.read m.mem ~width:w addr in
+        for j = 0 to n - 1 do
+          regs.(d + j) <- v
+        done;
+        touch addr w
+      with Memory.Fault x -> raise (Trap (Segfault x)))
+  | Code.Rscatter (w, v, a) -> (
+      let alanes = match a with Code.Oslot (_, l) -> l | Code.Oconst c -> Array.length c in
+      let vlanes = match v with Code.Oslot (_, l) -> l | Code.Oconst c -> Array.length c in
+      let disagree = ref false in
+      let a0 = get_lane regs a 0 and v0 = get_lane regs v 0 in
+      for j = 1 to alanes - 1 do
+        if get_lane regs a j <> a0 then disagree := true
+      done;
+      for j = 1 to vlanes - 1 do
+        if get_lane regs v j <> v0 then disagree := true
+      done;
+      let addr = majority4 regs ~off:0 ~n:alanes (fun j -> get_lane regs a j) in
+      let value = majority4 regs ~off:0 ~n:vlanes (fun j -> get_lane regs v j) in
+      if !disagree then m.recovered <- m.recovered + 1;
+      try
+        Memory.write m.mem ~width:w addr value;
+        touch addr w
+      with Memory.Fault x -> raise (Trap (Segfault x)))
+  | Code.Tret o -> (
+      let completion = Timing.exec th.timing ~ready:!ready ~mem_lat:4 it.Code.uops in
+      let popped = fr in
+      th.sp <- popped.saved_sp;
+      th.frames <- List.tl th.frames;
+      match th.frames with
+      | [] ->
+          finish_thread m th;
+          continue_ := false;
+          next_pc := -1
+      | caller :: _ ->
+          (match o with
+          | Some v when popped.ret_off >= 0 ->
+              let lanes = popped.cf.Code.ret_lanes in
+              for j = 0 to lanes - 1 do
+                caller.regs.(popped.ret_off + j) <- get_lane popped.regs v j
+              done;
+              caller.ready.(popped.ret_off) <- completion
+          | _ -> ());
+          next_pc := -1)
+  | Code.Tbr target -> next_pc := target
+  | Code.Tcondbr (c, t, e) ->
+      let taken = get_scalar regs c <> 0L in
+      next_pc := (if taken then t else e);
+      branch_info := Some (taken, false)
+  | Code.Tvbr (mask, t, e, r) ->
+      let lanes = match mask with Code.Oslot (_, l) -> l | Code.Oconst c -> Array.length c in
+      let all_true = ref true and all_false = ref true in
+      for j = 0 to lanes - 1 do
+        if get_lane regs mask j = 0L then all_true := false else all_false := false
+      done;
+      if !all_true then begin
+        next_pc := t;
+        branch_info := Some (true, false)
+      end
+      else if !all_false then begin
+        next_pc := e;
+        branch_info := Some (false, false)
+      end
+      else begin
+        next_pc := r;
+        branch_info := Some (true, true)
+      end
+  | Code.Tvbr_u (mask, t, e) ->
+      (* unchecked AVX branch: hardware flags reflect lane 0 on a clean run;
+         a mixed mask silently follows lane 0 (the Fig. 12 no-branch-checks
+         configuration gives up mixed-outcome detection) *)
+      let taken = get_lane regs mask 0 <> 0L in
+      next_pc := (if taken then t else e);
+      branch_info := Some (taken, false)
+  | Code.Tunreachable -> raise (Trap Unreachable_executed));
+  (* timing for plain instructions (calls/returns were timed inline) *)
+  (match it.Code.op with
+  | Code.Rcall _ | Code.Rcall_ind _ | Code.Tret _ -> ()
+  | _ ->
+      let completion =
+        Timing.exec th.timing ~ready:!ready
+          ~mem_lat:(if !mem_lat > 0 then !mem_lat else Cache.hit_latency)
+          it.Code.uops
+      in
+      if it.Code.dst >= 0 then fr.ready.(it.Code.dst) <- completion;
+      (match !branch_info with
+      | Some (taken, force_miss) ->
+          let miss = Branch_pred.record th.bpred ~pc:fr.pc ~taken in
+          if miss || force_miss then begin
+            ctr.Counters.branch_misses <- ctr.Counters.branch_misses + 1;
+            Timing.mispredict th.timing ~resolved:completion
+          end
+      | None -> ()));
+  (* fault injection *)
+  (if fl land Code.fl_inject <> 0 then
+     match m.cfg.inject with
+     | Some inj ->
+         m.inj_count <- m.inj_count + 1;
+         if m.inj_count = inj.at then begin
+           let flip lane bit =
+             let lane = lane mod max it.Code.dlanes 1 in
+             let off = it.Code.dst + lane in
+             fr.regs.(off) <- Int64.logxor fr.regs.(off) (Int64.shift_left 1L (bit land 63))
+           in
+           flip inj.lane inj.bit;
+           (match inj.second with Some (l, b) -> flip l b | None -> ());
+           m.injected <- true
+         end
+     | None -> if m.cfg.count_inject_sites then m.inj_count <- m.inj_count + 1);
+  if !next_pc >= 0 then fr.pc <- !next_pc;
+  !continue_ && th.status = Running
+
+(* ---- scheduler ---- *)
+
+let quantum = 256
+
+let pick_next (m : t) : thread option =
+  let best = ref None in
+  List.iter
+    (fun th ->
+      if th.status = Running then
+        match !best with
+        | Some b when Timing.cycle b.timing <= Timing.cycle th.timing -> ()
+        | _ -> best := Some th)
+    m.threads;
+  !best
+
+let sync_counters (m : t) =
+  List.iter
+    (fun th ->
+      if th.status <> Done then
+        th.ctr.Counters.cycles <- Timing.cycle th.timing - th.start_cycle)
+    m.threads
+
+let make_result (m : t) (trap : trap_reason option) : result =
+  sync_counters m;
+  let threads = List.rev m.threads in
+  let counters = List.map (fun th -> th.ctr) threads in
+  let totals = List.fold_left Counters.add (Counters.create ()) counters in
+  let wall =
+    List.fold_left
+      (fun acc th -> max acc (if th.status = Done then th.final_cycle else Timing.cycle th.timing))
+      0 m.threads
+  in
+  let out = Buffer.contents m.output in
+  {
+    wall_cycles = wall;
+    counters;
+    totals;
+    output_digest = Digest.string out;
+    output_bytes = out;
+    trap;
+    recovered_faults = m.recovered;
+    inject_sites = m.inj_count;
+    fault_injected = m.injected;
+  }
+
+(* Runs [entry] with scalar [args] to completion of all threads. *)
+let run ?(args = [||]) (m : t) (entry : string) : result =
+  let cf = Code.lookup m.code entry in
+  ignore (spawn_thread m cf args ~start_cycle:0);
+  let rec loop () =
+    match pick_next m with
+    | Some th ->
+        let continue_ = ref true in
+        let k = ref 0 in
+        while !continue_ && !k < quantum do
+          incr k;
+          continue_ := step m th
+        done;
+        loop ()
+    | None ->
+        if List.for_all (fun th -> th.status = Done) m.threads then ()
+        else begin
+          (* waiting threads whose target has finished were woken eagerly;
+             anything left is a deadlock *)
+          List.iter
+            (fun th ->
+              match th.status with
+              | Waiting tid -> (
+                  match find_thread m tid with
+                  | Some t when t.status = Done ->
+                      th.status <- Running;
+                      Timing.sync_to th.timing t.final_cycle
+                  | _ -> ())
+              | Waiting_barrier _ | Running | Done -> ())
+            m.threads;
+          if List.exists (fun th -> th.status = Running) m.threads then loop ()
+          else raise (Trap Deadlock)
+        end
+  in
+  match loop () with
+  | () -> make_result m None
+  | exception Trap r -> make_result m (Some r)
+
+(* Convenience: build, run, and return the result in one call. *)
+let run_module ?(cfg = default_config) ?(flags_cmp = false) ?(args = [||])
+    (modul : Ir.Instr.modul) (entry : string) : result =
+  let m = create ~cfg ~flags_cmp modul in
+  run ~args m entry

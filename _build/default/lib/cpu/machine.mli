@@ -1,0 +1,109 @@
+(** The simulated multicore machine: functional execution of compiled IR
+    (bit-exact lane semantics) driving one {!Timing}/{!Cache}/{!Branch_pred}
+    per core.  Threads map 1:1 onto cores; the scheduler always advances
+    the thread whose core clock is furthest behind, so lock contention and
+    join edges appear in wall-clock cycles.  Hosts the native builtins
+    (unhardened OS/pthreads/IO, §IV-A) and the single-bit fault-injection
+    hook (§IV-B). *)
+
+type trap_reason =
+  | Segfault of int64
+  | Div_by_zero
+  | Aborted
+  | Elzar_fatal  (** recovery found no majority: detected but uncorrectable *)
+  | Bad_callee of int64
+  | Deadlock
+  | Unreachable_executed
+  | Hang  (** instruction budget exhausted *)
+
+exception Trap of trap_reason
+
+val string_of_trap : trap_reason -> string
+
+type frame = {
+  cf : Code.cfunc;
+  regs : int64 array;
+  ready : int array;  (** per-slot result-ready cycle, for the timing model *)
+  mutable pc : int;
+  ret_off : int;
+  saved_sp : int64;
+}
+
+type status = Running | Waiting of int | Waiting_barrier of int64 | Done
+
+type thread = {
+  tid : int;
+  mutable frames : frame list;
+  timing : Timing.t;
+  cache : Cache.t;
+  bpred : Branch_pred.t;
+  ctr : Counters.t;
+  mutable status : status;
+  mutable sp : int64;
+  start_cycle : int;
+  mutable final_cycle : int;
+}
+
+(** Bit flip(s) in the destination register of the [at]-th
+    injection-eligible dynamic instruction: one lane always, optionally a
+    second (lane, bit) for multi-bit SEUs. *)
+type inject = {
+  at : int;
+  lane : int;
+  bit : int;
+  second : (int * int) option;
+}
+
+type config = {
+  max_instrs : int;  (** exceeded -> Hang *)
+  inject : inject option;
+  count_inject_sites : bool;
+  stack_size : int;  (** per-thread *)
+  trace : Buffer.t option;
+      (** per-instruction execution trace, capped at ~1 MB (the Intel SDE
+          debugtrace analogue of §IV-B) *)
+}
+
+val default_config : config
+
+type t = {
+  code : Code.t;
+  mem : Memory.t;
+  mutable threads : thread list;
+  mutable nthreads : int;
+  output : Buffer.t;
+  alloc_sizes : (int64, int) Hashtbl.t;
+  cfg : config;
+  mutable total_instrs : int;
+  mutable inj_count : int;
+  mutable injected : bool;
+  mutable recovered : int;
+}
+
+type result = {
+  wall_cycles : int;
+  counters : Counters.t list;  (** one per thread, spawn order *)
+  totals : Counters.t;
+  output_digest : string;
+  output_bytes : string;
+  trap : trap_reason option;
+  recovered_faults : int;  (** recovery-routine activations *)
+  inject_sites : int;  (** injection-eligible instructions executed *)
+  fault_injected : bool;
+}
+
+(** Compiles (a verified) module into a fresh machine with its own memory.
+    [flags_cmp] selects the proposed FLAGS-setting comparison lowering for
+    vector branches (future-AVX mode). *)
+val create : ?cfg:config -> ?flags_cmp:bool -> Ir.Instr.modul -> t
+
+(** Address of a named global, for host-side input preparation. *)
+val global_addr : t -> string -> int64
+
+(** Runs [entry] with scalar arguments until all threads finish (or a trap
+    or the instruction budget ends the run); never raises. *)
+val run : ?args:int64 array -> t -> string -> result
+
+(** [create] + [run]. *)
+val run_module :
+  ?cfg:config -> ?flags_cmp:bool -> ?args:int64 array -> Ir.Instr.modul -> string -> result

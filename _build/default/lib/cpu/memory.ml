@@ -1,0 +1,109 @@
+(** Flat simulated memory with a first-fit allocator.
+
+    One address space is shared by all simulated threads (the memory
+    subsystem is assumed ECC-protected and is outside the fault model,
+    paper §III-A).  The first page is kept unmapped so that null and
+    near-null dereferences trap, which the fault-injection campaign
+    classifies as OS-detected crashes. *)
+
+type t = {
+  data : Bytes.t;
+  size : int;
+  mutable static_brk : int;  (** globals region bump pointer *)
+  mutable heap_base : int;
+  mutable heap_limit : int;  (** heap may not grow past this *)
+  mutable free_list : (int * int) list;  (** (addr, len), address-ordered *)
+  mutable stack_top : int;
+}
+
+exception Fault of int64  (** access outside mapped memory *)
+
+let page = 4096
+
+let create ?(size = 1 lsl 26) () =
+  {
+    data = Bytes.make size '\000';
+    size;
+    static_brk = page;
+    heap_base = 0;
+    heap_limit = size;
+    free_list = [];
+    stack_top = size;
+  }
+
+let align16 n = (n + 15) land lnot 15
+
+let check (m : t) (addr : int64) (w : int) =
+  let a = Int64.to_int addr in
+  if addr < Int64.of_int page || a + w > m.size || a < 0 then raise (Fault addr)
+
+let read (m : t) ~(width : int) (addr : int64) : int64 =
+  check m addr width;
+  let a = Int64.to_int addr in
+  match width with
+  | 1 -> Int64.of_int (Bytes.get_uint8 m.data a)
+  | 2 -> Int64.of_int (Bytes.get_uint16_le m.data a)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le m.data a)) 0xFFFFFFFFL
+  | 8 -> Bytes.get_int64_le m.data a
+  | _ -> invalid_arg "Memory.read: bad width"
+
+let write (m : t) ~(width : int) (addr : int64) (v : int64) : unit =
+  check m addr width;
+  let a = Int64.to_int addr in
+  match width with
+  | 1 -> Bytes.set_uint8 m.data a (Int64.to_int v land 0xFF)
+  | 2 -> Bytes.set_uint16_le m.data a (Int64.to_int v land 0xFFFF)
+  | 4 -> Bytes.set_int32_le m.data a (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le m.data a v
+  | _ -> invalid_arg "Memory.write: bad width"
+
+(* ---- static data (globals), allocated once at load time ---- *)
+
+let alloc_static (m : t) (n : int) : int64 =
+  let addr = m.static_brk in
+  m.static_brk <- align16 (m.static_brk + n);
+  if m.static_brk >= m.size then failwith "Memory.alloc_static: out of memory";
+  m.heap_base <- m.static_brk;
+  Int64.of_int addr
+
+let blit_string (m : t) (s : string) (addr : int64) =
+  check m addr (String.length s);
+  Bytes.blit_string s 0 m.data (Int64.to_int addr) (String.length s)
+
+(* ---- heap ---- *)
+
+exception Out_of_memory
+
+let heap_init (m : t) ~(stack_reserve : int) =
+  if m.heap_base = 0 then m.heap_base <- m.static_brk;
+  m.heap_limit <- m.size - stack_reserve;
+  if m.heap_limit <= m.heap_base then failwith "Memory.heap_init: globals leave no heap";
+  m.free_list <- [ (m.heap_base, m.heap_limit - m.heap_base) ]
+
+let malloc (m : t) (n : int) : int64 =
+  let n = align16 (max n 16) in
+  let rec take acc = function
+    | [] -> raise Out_of_memory
+    | (addr, len) :: rest when len >= n ->
+        let remainder = if len > n then [ (addr + n, len - n) ] else [] in
+        m.free_list <- List.rev_append acc (remainder @ rest);
+        Int64.of_int addr
+    | chunk :: rest -> take (chunk :: acc) rest
+  in
+  take [] m.free_list
+
+let free (m : t) (addr : int64) (len : int) : unit =
+  let len = align16 (max len 16) in
+  let rec insert = function
+    | [] -> [ (Int64.to_int addr, len) ]
+    | (a, l) :: rest when Int64.to_int addr < a -> (Int64.to_int addr, len) :: (a, l) :: rest
+    | chunk :: rest -> chunk :: insert rest
+  in
+  m.free_list <- insert m.free_list
+
+(* ---- per-thread stacks, carved from the top of memory ---- *)
+
+let alloc_stack (m : t) (n : int) : int64 =
+  m.stack_top <- m.stack_top - align16 n;
+  if m.stack_top < m.heap_limit then failwith "Memory.alloc_stack: out of stack space";
+  Int64.of_int m.stack_top

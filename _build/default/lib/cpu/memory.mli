@@ -1,0 +1,44 @@
+(** Flat simulated memory shared by all threads (assumed ECC-protected and
+    outside the fault model, paper §III-A), with a static region for
+    globals, a first-fit heap, and per-thread stacks carved from the top.
+    The first page is unmapped so null dereferences trap. *)
+
+type t = {
+  data : Bytes.t;
+  size : int;
+  mutable static_brk : int;
+  mutable heap_base : int;
+  mutable heap_limit : int;
+  mutable free_list : (int * int) list;
+  mutable stack_top : int;
+}
+
+(** Access outside mapped memory. *)
+exception Fault of int64
+
+exception Out_of_memory
+
+val page : int
+val create : ?size:int -> unit -> t
+val align16 : int -> int
+
+(** @raise Fault when [addr, addr+w) is not mapped. *)
+val check : t -> int64 -> int -> unit
+
+(** [read m ~width addr] returns the value zero-extended to 64 bits;
+    [width] is 1, 2, 4 or 8. *)
+val read : t -> width:int -> int64 -> int64
+
+val write : t -> width:int -> int64 -> int64 -> unit
+
+(** Globals region, allocated once at load time. *)
+val alloc_static : t -> int -> int64
+
+val blit_string : t -> string -> int64 -> unit
+
+(** Sets up the heap between the globals and the stack reserve. *)
+val heap_init : t -> stack_reserve:int -> unit
+
+val malloc : t -> int -> int64
+val free : t -> int64 -> int -> unit
+val alloc_stack : t -> int -> int64

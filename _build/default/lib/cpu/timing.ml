@@ -1,0 +1,129 @@
+(** Out-of-order superscalar timing engine (one instance per simulated core).
+
+    The model is a lightweight Tomasulo approximation: instructions dispatch
+    in order, four μops per cycle, into a 192-entry window; each μop issues
+    at the earliest cycle at which its inputs are ready and one of its
+    allowed execution ports is free, and completes after its latency.  Load
+    latencies arrive from the cache model; branch mispredictions flush
+    dispatch.  Wall-clock cycles and the resulting ILP are what the paper's
+    Tables II/III and all normalized-runtime figures are built from. *)
+
+type t = {
+  port_free : int array;
+  mutable bus_free : int;  (** next cycle the L1-miss memory pipe is free *)
+  mutable dispatch_cycle : int;
+  mutable dispatch_used : int;
+  mutable horizon : int;  (** latest completion seen *)
+  rob : int array;  (** completion times of the last [rob_size] μops *)
+  mutable rob_pos : int;
+}
+
+let width = 4
+let rob_size = 192
+
+let create () =
+  {
+    port_free = Array.make Cost.nports 0;
+    bus_free = 0;
+    dispatch_cycle = 0;
+    dispatch_used = 0;
+    horizon = 0;
+    rob = Array.make rob_size 0;
+    rob_pos = 0;
+  }
+
+let reset (t : t) =
+  Array.fill t.port_free 0 Cost.nports 0;
+  t.bus_free <- 0;
+  t.dispatch_cycle <- 0;
+  t.dispatch_used <- 0;
+  t.horizon <- 0;
+  Array.fill t.rob 0 rob_size 0;
+  t.rob_pos <- 0
+
+(* Current core clock: dispatch cannot be behind, completions cannot be
+   ahead of it forever. *)
+let cycle (t : t) = max t.dispatch_cycle t.horizon
+
+let dispatch_one (t : t) =
+  if t.dispatch_used >= width then begin
+    t.dispatch_cycle <- t.dispatch_cycle + 1;
+    t.dispatch_used <- 0
+  end;
+  (* window limit: cannot dispatch past an unretired μop 192 entries back *)
+  let oldest = t.rob.(t.rob_pos) in
+  if oldest > t.dispatch_cycle then begin
+    t.dispatch_cycle <- oldest;
+    t.dispatch_used <- 0
+  end;
+  t.dispatch_used <- t.dispatch_used + 1;
+  t.dispatch_cycle
+
+(* Issues the μop sequence of one instruction whose inputs are ready at
+   [ready]; returns the cycle at which its result is available.  [mem_lat]
+   substitutes the latency of μops flagged [Mload]. *)
+let exec (t : t) ~(ready : int) ~(mem_lat : int) (uops : Cost.uop array) : int =
+  let n = Array.length uops in
+  if n = 0 then ready
+  else begin
+    let last = ref ready and result = ref ready in
+    for k = 0 to n - 1 do
+      let u = uops.(k) in
+      let dispatched = dispatch_one t in
+      let dep = if u.Cost.chain then !last else ready in
+      let earliest = max dep dispatched in
+      (* pick the allowed port that frees up first *)
+      let best_port = ref (-1) and best_time = ref max_int in
+      for p = 0 to Cost.nports - 1 do
+        if u.Cost.ports land (1 lsl p) <> 0 then begin
+          let at = max t.port_free.(p) earliest in
+          if at < !best_time then begin
+            best_time := at;
+            best_port := p
+          end
+        end
+      done;
+      let issue = ref !best_time in
+      t.port_free.(!best_port) <- !issue + u.Cost.rt;
+      (* an L1 miss additionally serializes on the per-core memory pipe *)
+      let missed = mem_lat > Cache.hit_latency in
+      (match u.Cost.mem with
+      | Cost.Mload | Cost.Mstore when missed ->
+          if t.bus_free > !issue then issue := t.bus_free;
+          t.bus_free <- !issue + Cost.membus_rt
+      | _ -> ());
+      let issue = !issue in
+      let lat = match u.Cost.mem with Cost.Mload -> mem_lat | _ -> u.Cost.lat in
+      let completion = issue + lat in
+      t.rob.(t.rob_pos) <- completion;
+      t.rob_pos <- (t.rob_pos + 1) mod rob_size;
+      if completion > t.horizon then t.horizon <- completion;
+      last := completion;
+      if completion > !result then result := completion
+    done;
+    !result
+  end
+
+(* Branch misprediction: the front end refills after the branch resolves. *)
+let mispredict (t : t) ~(resolved : int) =
+  let restart = resolved + Cost.mispredict_penalty in
+  if restart > t.dispatch_cycle then begin
+    t.dispatch_cycle <- restart;
+    t.dispatch_used <- 0
+  end
+
+(* Fixed-cost advancement for native builtins (OS work the paper leaves
+   unhardened and we do not model at μop granularity). *)
+let advance (t : t) n =
+  t.dispatch_cycle <- cycle t + n;
+  t.dispatch_used <- 0;
+  if t.dispatch_cycle > t.horizon then t.horizon <- t.dispatch_cycle
+
+(* Synchronization edge: this core observed an event at absolute cycle [c]
+   (thread join, lock hand-over); it cannot proceed earlier. *)
+let sync_to (t : t) c =
+  if c > t.dispatch_cycle then begin
+    t.dispatch_cycle <- c;
+    t.dispatch_used <- 0
+  end;
+  if c > t.horizon then t.horizon <- c

@@ -1,0 +1,40 @@
+(** Out-of-order superscalar timing engine, one instance per simulated
+    core: 4-wide in-order dispatch into a 192-μop window, per-port issue
+    with latencies and reciprocal throughputs from {!Cost}, a per-core
+    memory pipe serializing L1 misses, and branch-mispredict flushes.
+    Wall-clock cycles from this model underlie every normalized-runtime
+    figure of the paper. *)
+
+type t = {
+  port_free : int array;
+  mutable bus_free : int;
+  mutable dispatch_cycle : int;
+  mutable dispatch_used : int;
+  mutable horizon : int;
+  rob : int array;
+  mutable rob_pos : int;
+}
+
+val width : int
+val rob_size : int
+val create : unit -> t
+val reset : t -> unit
+
+(** Current core clock. *)
+val cycle : t -> int
+
+(** Issues one instruction's μop sequence; [ready] is when its register
+    inputs are available, [mem_lat] substitutes the latency of load μops.
+    Returns the cycle its result is ready. *)
+val exec : t -> ready:int -> mem_lat:int -> Cost.uop array -> int
+
+(** Branch misprediction: the front end restarts after the branch
+    resolves, plus the flush penalty. *)
+val mispredict : t -> resolved:int -> unit
+
+(** Fixed-cost advancement (native builtins). *)
+val advance : t -> int -> unit
+
+(** Synchronization edge observed at absolute cycle [c] (join, lock
+    hand-over): the core cannot proceed earlier. *)
+val sync_to : t -> int -> unit

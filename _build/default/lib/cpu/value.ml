@@ -1,0 +1,151 @@
+(** Bit-level value semantics.
+
+    Every runtime value is an array of 64-bit lanes: scalars use one lane,
+    vectors one lane per element.  Lanes hold the value's raw bits in
+    canonical zero-extended form (floats as their IEEE-754 encoding), which
+    makes single-bit-flip fault injection a plain [lxor] and keeps integer
+    overflow semantics exact for every width. *)
+
+open Ir
+
+let mask_of_width w = if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+(* Canonical form: the low [w] bits of the value, zero-extended. *)
+let canon (s : Types.scalar) (x : int64) = Int64.logand x (mask_of_width (Types.bits s))
+
+(* Read back as a signed value. *)
+let signed (s : Types.scalar) (x : int64) =
+  let w = Types.bits s in
+  if w >= 64 then x else Int64.shift_right (Int64.shift_left x (64 - w)) (64 - w)
+
+(* All-ones mask lane of the element's width (what AVX compares produce). *)
+let true_mask (s : Types.scalar) = mask_of_width (Types.bits s)
+
+(* ---- float encode/decode ---- *)
+
+let f32_decode (x : int64) = Int32.float_of_bits (Int64.to_int32 x)
+let f32_encode (f : float) = Int64.logand (Int64.of_int32 (Int32.bits_of_float f)) 0xFFFFFFFFL
+let f64_decode = Int64.float_of_bits
+let f64_encode = Int64.bits_of_float
+
+let fdecode (s : Types.scalar) x =
+  match s with
+  | Types.F32 -> f32_decode x
+  | Types.F64 -> f64_decode x
+  | _ -> invalid_arg "Value.fdecode: not a float type"
+
+let fencode (s : Types.scalar) f =
+  match s with
+  | Types.F32 -> f32_encode f
+  | Types.F64 -> f64_encode f
+  | _ -> invalid_arg "Value.fencode: not a float type"
+
+exception Division_by_zero
+
+(* ---- integer binary operations ---- *)
+
+let ucmp a b =
+  (* unsigned comparison of int64 bit patterns *)
+  Int64.unsigned_compare a b
+
+let binop_fn (s : Types.scalar) (op : Instr.binop) : int64 -> int64 -> int64 =
+  let c = canon s in
+  let sg = signed s in
+  match op with
+  | Instr.Add -> fun a b -> c (Int64.add a b)
+  | Instr.Sub -> fun a b -> c (Int64.sub a b)
+  | Instr.Mul -> fun a b -> c (Int64.mul a b)
+  | Instr.Sdiv ->
+      fun a b ->
+        if b = 0L then raise Division_by_zero;
+        c (Int64.div (sg a) (sg b))
+  | Instr.Udiv ->
+      fun a b ->
+        if b = 0L then raise Division_by_zero;
+        c (Int64.unsigned_div a b)
+  | Instr.Srem ->
+      fun a b ->
+        if b = 0L then raise Division_by_zero;
+        c (Int64.rem (sg a) (sg b))
+  | Instr.Urem ->
+      fun a b ->
+        if b = 0L then raise Division_by_zero;
+        c (Int64.unsigned_rem a b)
+  | Instr.And -> fun a b -> Int64.logand a b
+  | Instr.Or -> fun a b -> Int64.logor a b
+  | Instr.Xor -> fun a b -> Int64.logxor a b
+  | Instr.Shl ->
+      fun a b ->
+        let sh = Int64.to_int b land 63 in
+        c (Int64.shift_left a sh)
+  | Instr.Lshr ->
+      fun a b ->
+        let sh = Int64.to_int b land 63 in
+        Int64.shift_right_logical a sh
+  | Instr.Ashr ->
+      fun a b ->
+        let sh = Int64.to_int b land 63 in
+        c (Int64.shift_right (sg a) sh)
+
+let fbinop_fn (s : Types.scalar) (op : Instr.fbinop) : int64 -> int64 -> int64 =
+  let dec = fdecode s and enc = fencode s in
+  let f =
+    match op with
+    | Instr.Fadd -> ( +. )
+    | Instr.Fsub -> ( -. )
+    | Instr.Fmul -> ( *. )
+    | Instr.Fdiv -> ( /. )
+  in
+  fun a b -> enc (f (dec a) (dec b))
+
+let icmp_fn (s : Types.scalar) (cc : Instr.icmp) : int64 -> int64 -> bool =
+  let sg = signed s in
+  match cc with
+  | Instr.Ieq -> ( = )
+  | Instr.Ine -> ( <> )
+  | Instr.Islt -> fun a b -> sg a < sg b
+  | Instr.Isle -> fun a b -> sg a <= sg b
+  | Instr.Isgt -> fun a b -> sg a > sg b
+  | Instr.Isge -> fun a b -> sg a >= sg b
+  | Instr.Iult -> fun a b -> ucmp a b < 0
+  | Instr.Iule -> fun a b -> ucmp a b <= 0
+  | Instr.Iugt -> fun a b -> ucmp a b > 0
+  | Instr.Iuge -> fun a b -> ucmp a b >= 0
+
+let fcmp_fn (s : Types.scalar) (cc : Instr.fcmp) : int64 -> int64 -> bool =
+  let dec = fdecode s in
+  let f =
+    match cc with
+    | Instr.Foeq -> fun a b -> a = b
+    | Instr.Fone -> fun a b -> a <> b && not (Float.is_nan a || Float.is_nan b)
+    | Instr.Folt -> fun a b -> a < b
+    | Instr.Fole -> fun a b -> a <= b
+    | Instr.Fogt -> fun a b -> a > b
+    | Instr.Foge -> fun a b -> a >= b
+  in
+  fun a b -> f (dec a) (dec b)
+
+let cast_fn (k : Instr.cast) ~(from : Types.scalar) ~(dst : Types.scalar) :
+    int64 -> int64 =
+  match k with
+  | Instr.Trunc -> canon dst
+  | Instr.Zext -> fun x -> x (* canonical form is already zero-extended *)
+  | Instr.Sext -> fun x -> canon dst (signed from x)
+  | Instr.Fptosi ->
+      fun x ->
+        let f = fdecode from x in
+        let i = if Float.is_nan f then 0L else Int64.of_float f in
+        canon dst i
+  | Instr.Sitofp -> fun x -> fencode dst (Int64.to_float (signed from x))
+  | Instr.Fpext -> fun x -> f64_encode (f32_decode x)
+  | Instr.Fptrunc -> fun x -> f32_encode (f64_decode x)
+  | Instr.Bitcast -> fun x -> canon dst x
+
+(* Encode an IR immediate operand into lane bits. *)
+let encode_imm (t : Types.t) (v : int64) : int64 array =
+  let s = Types.elem t in
+  Array.make (Types.lanes t) (canon s v)
+
+let encode_fimm (t : Types.t) (v : float) : int64 array =
+  let s = Types.elem t in
+  Array.make (Types.lanes t) (fencode s v)

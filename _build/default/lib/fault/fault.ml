@@ -1,0 +1,160 @@
+(** Fault-injection framework (paper §IV-B).
+
+    Reproduces the paper's Intel SDE + gdb campaign: each experiment runs
+    the program once with a single bit flipped in the destination register
+    of one randomly chosen dynamic instruction inside hardened code — GPR
+    destinations flip their value, YMM destinations flip one bit of one
+    lane, matching the SEU model of §III-A.  The outcome is classified
+    against a golden run (Table I). *)
+
+type outcome =
+  | Hang  (** program became unresponsive *)
+  | Os_detected  (** trap: segfault, division by zero, abort, fail-stop *)
+  | Elzar_corrected  (** a recovery routine ran and the output is correct *)
+  | Masked  (** fault did not affect the output *)
+  | Sdc  (** silent data corruption in the output *)
+
+let outcome_to_string = function
+  | Hang -> "hang"
+  | Os_detected -> "os-detected"
+  | Elzar_corrected -> "elzar-corrected"
+  | Masked -> "masked"
+  | Sdc -> "SDC"
+
+(* Everything needed to run one experiment deterministically. *)
+type run_spec = {
+  modul : Ir.Instr.modul;  (** already prepared (hardened or native) *)
+  flags_cmp : bool;
+  entry : string;
+  args : int64 array;
+  init : Cpu.Machine.t -> unit;  (** host-side input preparation *)
+  max_instrs : int;
+}
+
+let make_spec ?(flags_cmp = false) ?(args = [||]) ?(init = fun _ -> ())
+    ?(max_instrs = 200_000_000) modul entry =
+  { modul; flags_cmp; entry; args; init; max_instrs }
+
+let run_with (spec : run_spec) (cfg : Cpu.Machine.config) : Cpu.Machine.result =
+  let machine = Cpu.Machine.create ~cfg ~flags_cmp:spec.flags_cmp spec.modul in
+  spec.init machine;
+  Cpu.Machine.run ~args:spec.args machine spec.entry
+
+(* Fault-free reference run; also counts the injection-eligible dynamic
+   instructions (the "instruction trace" step of §IV-B). *)
+let golden (spec : run_spec) : Cpu.Machine.result =
+  let cfg =
+    {
+      Cpu.Machine.default_config with
+      max_instrs = spec.max_instrs;
+      count_inject_sites = true;
+    }
+  in
+  let r = run_with spec cfg in
+  (match r.Cpu.Machine.trap with
+  | Some t ->
+      invalid_arg
+        (Printf.sprintf "Fault.golden: reference run of %s trapped (%s)" spec.entry
+           (Cpu.Machine.string_of_trap t))
+  | None -> ());
+  r
+
+let classify ~(golden : Cpu.Machine.result) (r : Cpu.Machine.result) : outcome =
+  match r.Cpu.Machine.trap with
+  | Some Cpu.Machine.Hang -> Hang
+  | Some Cpu.Machine.Deadlock -> Hang
+  | Some _ -> Os_detected
+  | None ->
+      if r.Cpu.Machine.output_digest = golden.Cpu.Machine.output_digest then
+        if r.Cpu.Machine.recovered_faults > 0 then Elzar_corrected else Masked
+      else Sdc
+
+(* One experiment: flip [bit] of one lane of the destination of the [at]-th
+   injection-eligible instruction. *)
+let inject_one (spec : run_spec) ~(golden : Cpu.Machine.result) ~(at : int) ~(lane : int)
+    ~(bit : int) : outcome =
+  let cfg =
+    {
+      Cpu.Machine.default_config with
+      max_instrs = spec.max_instrs;
+      inject = Some { Cpu.Machine.at; lane; bit; second = None };
+    }
+  in
+  classify ~golden (run_with spec cfg)
+
+(* Multi-bit experiment: two flips in the same destination register
+   (paper §III-C's extended-recovery discussion).  With [same_value] the
+   second lane gets the same bit flipped — the adversarial pattern where
+   two corrupted replicas agree with each other. *)
+let inject_two (spec : run_spec) ~(golden : Cpu.Machine.result) ~(at : int) ~(lane : int)
+    ~(bit : int) ~(lane2 : int) ~(bit2 : int) : outcome =
+  let cfg =
+    {
+      Cpu.Machine.default_config with
+      max_instrs = spec.max_instrs;
+      inject = Some { Cpu.Machine.at; lane; bit; second = Some (lane2, bit2) };
+    }
+  in
+  classify ~golden (run_with spec cfg)
+
+type stats = {
+  runs : int;
+  hang : int;
+  os_detected : int;
+  corrected : int;
+  masked : int;
+  sdc : int;
+}
+
+let empty_stats = { runs = 0; hang = 0; os_detected = 0; corrected = 0; masked = 0; sdc = 0 }
+
+let add_outcome (s : stats) = function
+  | Hang -> { s with runs = s.runs + 1; hang = s.hang + 1 }
+  | Os_detected -> { s with runs = s.runs + 1; os_detected = s.os_detected + 1 }
+  | Elzar_corrected -> { s with runs = s.runs + 1; corrected = s.corrected + 1 }
+  | Masked -> { s with runs = s.runs + 1; masked = s.masked + 1 }
+  | Sdc -> { s with runs = s.runs + 1; sdc = s.sdc + 1 }
+
+let pct part s = 100.0 *. float_of_int part /. float_of_int (max 1 s.runs)
+
+(* Aggregates into the paper's three Fig. 13 bars. *)
+let crashed_pct s = pct (s.hang + s.os_detected) s
+let correct_pct s = pct (s.corrected + s.masked) s
+let sdc_pct s = pct s.sdc s
+
+(* A full campaign of [n] independent injections with a seeded RNG. *)
+let campaign ?(seed = 42) ?(n = 300) (spec : run_spec) : stats =
+  let g = golden spec in
+  let sites = g.Cpu.Machine.inject_sites in
+  if sites = 0 then invalid_arg "Fault.campaign: no hardened code to inject into";
+  let rng = Random.State.make [| seed |] in
+  let s = ref empty_stats in
+  for _ = 1 to n do
+    let at = 1 + Random.State.int rng sites in
+    let lane = Random.State.int rng 32 in
+    let bit = Random.State.int rng 64 in
+    s := add_outcome !s (inject_one spec ~golden:g ~at ~lane ~bit)
+  done;
+  !s
+
+(* Campaign of double-bit faults; [same_bit] flips the same bit in two
+   different lanes (two replicas agreeing on a wrong value). *)
+let campaign_double ?(seed = 43) ?(n = 150) ?(same_bit = true) (spec : run_spec) : stats =
+  let g = golden spec in
+  let sites = g.Cpu.Machine.inject_sites in
+  if sites = 0 then invalid_arg "Fault.campaign_double: no hardened code to inject into";
+  let rng = Random.State.make [| seed |] in
+  let s = ref empty_stats in
+  for _ = 1 to n do
+    let at = 1 + Random.State.int rng sites in
+    let lane = Random.State.int rng 32 in
+    let lane2 = lane + 1 + Random.State.int rng 3 in
+    let bit = Random.State.int rng 64 in
+    let bit2 = if same_bit then bit else Random.State.int rng 64 in
+    s := add_outcome !s (inject_two spec ~golden:g ~at ~lane ~bit ~lane2 ~bit2)
+  done;
+  !s
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt "runs=%d crashed=%.1f%% correct=%.1f%% (corrected=%.1f%%) SDC=%.1f%%"
+    s.runs (crashed_pct s) (correct_pct s) (pct s.corrected s) (sdc_pct s)

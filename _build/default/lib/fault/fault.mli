@@ -1,0 +1,82 @@
+(** Fault-injection framework (paper §IV-B): single bit-flips in the
+    destination register of one randomly chosen dynamic instruction inside
+    hardened code (one lane for YMM destinations, per the SEU model of
+    §III-A), classified against a golden run into the outcomes of
+    Table I. *)
+
+type outcome =
+  | Hang  (** program became unresponsive *)
+  | Os_detected  (** trap: segfault, division by zero, abort, fail-stop *)
+  | Elzar_corrected  (** a recovery routine ran and the output is correct *)
+  | Masked  (** fault did not affect the output *)
+  | Sdc  (** silent data corruption in the output *)
+
+val outcome_to_string : outcome -> string
+
+(** Everything needed to run one experiment deterministically. *)
+type run_spec = {
+  modul : Ir.Instr.modul;  (** already prepared (hardened or native) *)
+  flags_cmp : bool;
+  entry : string;
+  args : int64 array;
+  init : Cpu.Machine.t -> unit;  (** host-side input preparation *)
+  max_instrs : int;
+}
+
+val make_spec :
+  ?flags_cmp:bool ->
+  ?args:int64 array ->
+  ?init:(Cpu.Machine.t -> unit) ->
+  ?max_instrs:int ->
+  Ir.Instr.modul ->
+  string ->
+  run_spec
+
+(** Fault-free reference run; counts the injection-eligible dynamic
+    instructions.  @raise Invalid_argument if the reference run traps. *)
+val golden : run_spec -> Cpu.Machine.result
+
+val classify : golden:Cpu.Machine.result -> Cpu.Machine.result -> outcome
+
+(** One experiment: flip [bit] of one lane of the destination of the
+    [at]-th injection-eligible instruction. *)
+val inject_one :
+  run_spec -> golden:Cpu.Machine.result -> at:int -> lane:int -> bit:int -> outcome
+
+(** Two flips in the same destination register (multi-bit SEU). *)
+val inject_two :
+  run_spec ->
+  golden:Cpu.Machine.result ->
+  at:int ->
+  lane:int ->
+  bit:int ->
+  lane2:int ->
+  bit2:int ->
+  outcome
+
+type stats = {
+  runs : int;
+  hang : int;
+  os_detected : int;
+  corrected : int;
+  masked : int;
+  sdc : int;
+}
+
+val empty_stats : stats
+val add_outcome : stats -> outcome -> stats
+
+(** The three Fig. 13 bars. *)
+val crashed_pct : stats -> float
+
+val correct_pct : stats -> float
+val sdc_pct : stats -> float
+
+(** [campaign ~seed ~n spec] runs [n] independent injections. *)
+val campaign : ?seed:int -> ?n:int -> run_spec -> stats
+
+(** Double-bit campaign; [same_bit] flips the same bit in two lanes (the
+    adversarial two-agreeing-corrupt-replicas pattern). *)
+val campaign_double : ?seed:int -> ?n:int -> ?same_bit:bool -> run_spec -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Instr Int64 List Printf String Types

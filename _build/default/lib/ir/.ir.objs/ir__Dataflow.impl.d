@@ -1,0 +1,1 @@
+lib/ir/dataflow.ml: Array Hashtbl Instr Int List Printf Set

@@ -1,0 +1,1 @@
+lib/ir/dataflow.mli: Hashtbl Instr Set

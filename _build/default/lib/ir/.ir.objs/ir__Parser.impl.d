@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Buffer Char Hashtbl Instr Int64 List Printf String Types

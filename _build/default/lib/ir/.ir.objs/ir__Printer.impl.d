@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Char Format Instr List Printf String Types

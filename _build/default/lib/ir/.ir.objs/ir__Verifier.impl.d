@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Dataflow Instr List Printer Printf Types

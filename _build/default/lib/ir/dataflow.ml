@@ -1,0 +1,192 @@
+(** CFG dataflow analyses over the non-SSA IR.
+
+    [verify_defs] is a definite-assignment check (every register read must
+    be written on all paths from entry), used by the verifier to catch
+    transformation-pass bugs.  [liveness] and [max_pressure] compute
+    classic backward liveness and the peak number of simultaneously live
+    registers — the register-pressure cost that makes real SWIFT-R spill
+    (and that an infinite-register simulator otherwise hides). *)
+
+open Instr
+
+module Iset = Set.Make (Int)
+
+type cfg = {
+  labels : string array;
+  index : (string, int) Hashtbl.t;
+  preds : int list array;
+  succs : int list array;
+}
+
+let build_cfg (f : func) : cfg =
+  let labels = Array.of_list (List.map fst f.blocks) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) labels;
+  let n = Array.length labels in
+  let preds = Array.make n [] and succs = Array.make n [] in
+  List.iteri
+    (fun i (_, (b : block)) ->
+      List.iter
+        (fun l ->
+          match Hashtbl.find_opt index l with
+          | Some j ->
+              succs.(i) <- j :: succs.(i);
+              preds.(j) <- i :: preds.(j)
+          | None -> ())
+        (successors b.term))
+    f.blocks;
+  { labels; index; preds; succs }
+
+let uses_of_instr (i : t) : int list =
+  List.filter_map (function Reg r -> Some r.rid | _ -> None) (operands i)
+
+let defs_of_instr (i : t) : int list =
+  match dest i with Some r -> [ r.rid ] | None -> []
+
+let uses_of_term (t : terminator) : int list =
+  List.filter_map (function Reg r -> Some r.rid | _ -> None) (term_operands t)
+
+(* ---- definite assignment ---- *)
+
+(* Forward may-not-be-defined analysis: defined-at-entry of a block is the
+   intersection of defined-at-exit over its predecessors; unreachable
+   blocks are skipped. *)
+let verify_defs (f : func) : string list =
+  let blocks = Array.of_list (List.map snd f.blocks) in
+  let cfg = build_cfg f in
+  let n = Array.length blocks in
+  if n = 0 then []
+  else begin
+    let params = Iset.of_list (List.map (fun (r : reg) -> r.rid) f.params) in
+    let gen = Array.make n Iset.empty in
+    Array.iteri
+      (fun i (b : block) ->
+        gen.(i) <- List.fold_left (fun s instr -> List.fold_left (fun s d -> Iset.add d s) s (defs_of_instr instr)) Iset.empty b.instrs)
+      blocks;
+    (* reachability *)
+    let reachable = Array.make n false in
+    let rec visit i =
+      if not reachable.(i) then begin
+        reachable.(i) <- true;
+        List.iter visit cfg.succs.(i)
+      end
+    in
+    visit 0;
+    (* all-defined lattice: start from "everything" and shrink *)
+    let all =
+      Array.fold_left (fun s g -> Iset.union s g) params gen
+    in
+    let entry_in = Array.make n all in
+    entry_in.(0) <- params;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun i _ ->
+          if reachable.(i) && i > 0 then begin
+            let inter =
+              match List.filter (fun p -> reachable.(p)) cfg.preds.(i) with
+              | [] -> params  (* reachable only via entry? conservative *)
+              | p :: rest ->
+                  List.fold_left
+                    (fun s q -> Iset.inter s (Iset.union entry_in.(q) gen.(q)))
+                    (Iset.union entry_in.(p) gen.(p))
+                    rest
+            in
+            if not (Iset.equal inter entry_in.(i)) then begin
+              entry_in.(i) <- inter;
+              changed := true
+            end
+          end)
+        blocks
+    done;
+    let errors = ref [] in
+    Array.iteri
+      (fun i (b : block) ->
+        if reachable.(i) then begin
+          let defined = ref entry_in.(i) in
+          List.iter
+            (fun instr ->
+              List.iter
+                (fun u ->
+                  if not (Iset.mem u !defined) then
+                    errors :=
+                      Printf.sprintf "@%s: block %%%s reads register #%d before any definition"
+                        f.fname cfg.labels.(i) u
+                      :: !errors)
+                (uses_of_instr instr);
+              List.iter (fun d -> defined := Iset.add d !defined) (defs_of_instr instr))
+            b.instrs;
+          List.iter
+            (fun u ->
+              if not (Iset.mem u !defined) then
+                errors :=
+                  Printf.sprintf "@%s: terminator of %%%s reads register #%d before any definition"
+                    f.fname cfg.labels.(i) u
+                  :: !errors)
+            (uses_of_term b.term)
+        end)
+      blocks;
+    List.rev !errors
+  end
+
+(* ---- liveness ---- *)
+
+type liveness = { live_in : Iset.t array; live_out : Iset.t array }
+
+let liveness (f : func) : liveness =
+  let blocks = Array.of_list (List.map snd f.blocks) in
+  let cfg = build_cfg f in
+  let n = Array.length blocks in
+  (* per-block use (read before any write) and def sets *)
+  let use = Array.make n Iset.empty and def = Array.make n Iset.empty in
+  Array.iteri
+    (fun i (b : block) ->
+      let u = ref Iset.empty and d = ref Iset.empty in
+      List.iter
+        (fun instr ->
+          List.iter (fun x -> if not (Iset.mem x !d) then u := Iset.add x !u) (uses_of_instr instr);
+          List.iter (fun x -> d := Iset.add x !d) (defs_of_instr instr))
+        b.instrs;
+      List.iter (fun x -> if not (Iset.mem x !d) then u := Iset.add x !u) (uses_of_term b.term);
+      use.(i) <- !u;
+      def.(i) <- !d)
+    blocks;
+  let live_in = Array.make n Iset.empty and live_out = Array.make n Iset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left (fun s j -> Iset.union s live_in.(j)) Iset.empty cfg.succs.(i)
+      in
+      let inn = Iset.union use.(i) (Iset.diff out def.(i)) in
+      if not (Iset.equal out live_out.(i)) || not (Iset.equal inn live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+(* Peak number of simultaneously live registers across the function: a
+   proxy for register pressure (and hence for the spills an infinite-
+   register machine never pays). *)
+let max_pressure (f : func) : int =
+  let blocks = Array.of_list (List.map snd f.blocks) in
+  let lv = liveness f in
+  let peak = ref 0 in
+  Array.iteri
+    (fun i (b : block) ->
+      (* walk backwards from live-out *)
+      let live = ref lv.live_out.(i) in
+      peak := max !peak (Iset.cardinal !live);
+      List.iter
+        (fun instr ->
+          List.iter (fun d -> live := Iset.remove d !live) (defs_of_instr instr);
+          List.iter (fun u -> live := Iset.add u !live) (uses_of_instr instr);
+          peak := max !peak (Iset.cardinal !live))
+        (List.rev b.instrs))
+    blocks;
+  !peak

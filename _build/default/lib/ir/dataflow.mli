@@ -1,0 +1,26 @@
+(** CFG dataflow analyses over the non-SSA IR: definite assignment (used by
+    the verifier to catch pass bugs) and backward liveness / register
+    pressure. *)
+
+module Iset : Set.S with type elt = int
+
+type cfg = {
+  labels : string array;
+  index : (string, int) Hashtbl.t;
+  preds : int list array;
+  succs : int list array;
+}
+
+val build_cfg : Instr.func -> cfg
+
+(** Errors for registers read on some path before any definition
+    (unreachable blocks are ignored). *)
+val verify_defs : Instr.func -> string list
+
+type liveness = { live_in : Iset.t array; live_out : Iset.t array }
+
+val liveness : Instr.func -> liveness
+
+(** Peak number of simultaneously live registers: a register-pressure
+    proxy (what makes real SWIFT-R spill on 16-register x86). *)
+val max_pressure : Instr.func -> int

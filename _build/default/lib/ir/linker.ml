@@ -1,0 +1,45 @@
+(** Linking of IR modules.
+
+    Programs are linked against the IR runtime library (the hardened
+    libc/libm subset) before being handed to a hardening pass or to the
+    machine, mirroring how the paper links benchmarks against musl via the
+    LLVM gold plugin. *)
+
+open Instr
+
+exception Duplicate_symbol of string
+
+let check_no_dup names =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem tbl n then raise (Duplicate_symbol n);
+      Hashtbl.replace tbl n ())
+    names
+
+(* Links [ms] into a single module.  Function and global names must be
+   unique across all inputs. *)
+let link (ms : modul list) : modul =
+  let funcs = List.concat_map (fun m -> m.funcs) ms in
+  let globals = List.concat_map (fun m -> m.globals) ms in
+  check_no_dup (List.map (fun f -> f.fname) funcs);
+  check_no_dup (List.map (fun g -> g.gname) globals);
+  { funcs; globals }
+
+(* Set of function names defined in the module; calls to anything else are
+   builtins provided natively by the machine (OS, pthreads, I/O — the parts
+   the paper leaves unhardened). *)
+let defined_names (m : modul) =
+  List.fold_left (fun acc f -> f.fname :: acc) [] m.funcs
+
+(* Deep copy, so that a hardening pass can rewrite a module in place without
+   clobbering the caller's copy. *)
+let copy_func (f : func) : func =
+  {
+    f with
+    blocks = List.map (fun (l, b) -> (l, { instrs = b.instrs; term = b.term })) f.blocks;
+    loops = f.loops;
+  }
+
+let copy (m : modul) : modul =
+  { funcs = List.map copy_func m.funcs; globals = m.globals }

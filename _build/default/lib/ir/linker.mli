@@ -1,0 +1,19 @@
+(** Linking of IR modules: programs are combined with the IR runtime
+    library before hardening, mirroring how the paper links benchmarks
+    against musl. *)
+
+exception Duplicate_symbol of string
+
+(** Links modules into one; function and global names must be unique.
+    @raise Duplicate_symbol otherwise. *)
+val link : Instr.modul list -> Instr.modul
+
+(** Names of all functions defined in the module; calls to anything else
+    resolve to native builtins (the unhardened OS/pthreads/IO layer). *)
+val defined_names : Instr.modul -> string list
+
+val copy_func : Instr.func -> Instr.func
+
+(** Deep copy, so a pass can rewrite in place without clobbering the
+    caller's module. *)
+val copy : Instr.modul -> Instr.modul

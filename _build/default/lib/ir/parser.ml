@@ -1,0 +1,518 @@
+(** Parser for the textual IR emitted by {!Printer}.
+
+    [parse (Printer.modul_to_string m)] reconstructs [m] up to loop
+    metadata (which is analysis state, not program text) — the test suite
+    holds the round trip as a property.  Enables file-based IR tooling:
+    dumping a hardened module, editing it, and re-running it. *)
+
+open Instr
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+(* ---- lexical helpers ---- *)
+
+let strip s = String.trim s
+
+let split_top_commas (s : string) : string list =
+  (* splits on commas not nested in (), [] or <> *)
+  let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | '[' | '<' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' | ']' | '>' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map strip !parts
+
+(* first whitespace-separated token and the rest *)
+let token (s : string) : string * string =
+  let s = strip s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, strip (String.sub s (i + 1) (String.length s - i - 1)))
+
+let scalar_of_string ln = function
+  | "i1" -> Types.I1
+  | "i8" -> Types.I8
+  | "i16" -> Types.I16
+  | "i32" -> Types.I32
+  | "i64" -> Types.I64
+  | "f32" -> Types.F32
+  | "f64" -> Types.F64
+  | "ptr" -> Types.Ptr
+  | s -> fail ln "unknown scalar type %S" s
+
+(* "<4 x i64>" or "i64"; returns the type and the rest of the string *)
+let parse_ty ln (s : string) : Types.t * string =
+  let s = strip s in
+  if String.length s > 0 && s.[0] = '<' then begin
+    match String.index_opt s '>' with
+    | None -> fail ln "unterminated vector type in %S" s
+    | Some close ->
+        let inner = String.sub s 1 (close - 1) in
+        let rest = strip (String.sub s (close + 1) (String.length s - close - 1)) in
+        (match String.split_on_char 'x' inner with
+        | [ n; elem ] ->
+            let n = int_of_string (strip n) in
+            (Types.Vector (scalar_of_string ln (strip elem), n), rest)
+        | _ -> fail ln "malformed vector type %S" s)
+  end
+  else
+    let t, rest = token s in
+    (Types.Scalar (scalar_of_string ln t), rest)
+
+(* ---- operand parsing (register types resolved through [regs]) ---- *)
+
+type ctx = {
+  regs : (int, reg) Hashtbl.t;  (** rid -> register *)
+  mutable line : int;
+}
+
+(* "%name.id" -> reg *)
+let parse_reg ctx (s : string) : reg =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '%' then fail ctx.line "expected register, got %S" s;
+  match String.rindex_opt s '.' with
+  | None -> fail ctx.line "malformed register %S" s
+  | Some dot -> (
+      let rid = int_of_string (String.sub s (dot + 1) (String.length s - dot - 1)) in
+      match Hashtbl.find_opt ctx.regs rid with
+      | Some r -> r
+      | None -> fail ctx.line "use of undefined register %S" s)
+
+let parse_operand ctx (s : string) : operand =
+  let s = strip s in
+  if s = "" then fail ctx.line "empty operand";
+  match s.[0] with
+  | '%' -> Reg (parse_reg ctx s)
+  | '@' ->
+      let name = String.sub s 1 (String.length s - 1) in
+      if String.length name > 3 && String.sub name 0 3 = "fn:" then
+        Fref (String.sub name 3 (String.length name - 3))
+      else Glob name
+  | _ ->
+      let ty, rest = parse_ty ctx.line s in
+      if Types.is_float (Types.elem ty) then Fimm (ty, float_of_string rest)
+      else Imm (ty, Int64.of_string rest)
+
+(* declares a destination register, checking for retyping conflicts *)
+let declare_reg ctx (s : string) (rty : Types.t) : reg =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '%' then fail ctx.line "expected register, got %S" s;
+  match String.rindex_opt s '.' with
+  | None -> fail ctx.line "malformed register %S" s
+  | Some dot ->
+      let rid = int_of_string (String.sub s (dot + 1) (String.length s - dot - 1)) in
+      let rname = String.sub s 1 (dot - 1) in
+      let r = { rid; rname; rty } in
+      (match Hashtbl.find_opt ctx.regs rid with
+      | Some prev when not (Types.equal prev.rty rty) ->
+          fail ctx.line "register %S redefined at a different type" s
+      | _ -> ());
+      Hashtbl.replace ctx.regs rid r;
+      r
+
+(* ---- instruction parsing ---- *)
+
+let binop_of_string = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "sdiv" -> Some Sdiv
+  | "udiv" -> Some Udiv
+  | "srem" -> Some Srem
+  | "urem" -> Some Urem
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "shl" -> Some Shl
+  | "lshr" -> Some Lshr
+  | "ashr" -> Some Ashr
+  | _ -> None
+
+let fbinop_of_string = function
+  | "fadd" -> Some Fadd
+  | "fsub" -> Some Fsub
+  | "fmul" -> Some Fmul
+  | "fdiv" -> Some Fdiv
+  | _ -> None
+
+let icmp_of_string ln = function
+  | "eq" -> Ieq
+  | "ne" -> Ine
+  | "slt" -> Islt
+  | "sle" -> Isle
+  | "sgt" -> Isgt
+  | "sge" -> Isge
+  | "ult" -> Iult
+  | "ule" -> Iule
+  | "ugt" -> Iugt
+  | "uge" -> Iuge
+  | s -> fail ln "unknown icmp predicate %S" s
+
+let fcmp_of_string ln = function
+  | "oeq" -> Foeq
+  | "one" -> Fone
+  | "olt" -> Folt
+  | "ole" -> Fole
+  | "ogt" -> Fogt
+  | "oge" -> Foge
+  | s -> fail ln "unknown fcmp predicate %S" s
+
+let cast_of_string = function
+  | "trunc" -> Some Trunc
+  | "zext" -> Some Zext
+  | "sext" -> Some Sext
+  | "fptosi" -> Some Fptosi
+  | "sitofp" -> Some Sitofp
+  | "fpext" -> Some Fpext
+  | "fptrunc" -> Some Fptrunc
+  | "bitcast" -> Some Bitcast
+  | _ -> None
+
+let rmw_of_string ln = function
+  | "add" -> Rmw_add
+  | "sub" -> Rmw_sub
+  | "xchg" -> Rmw_xchg
+  | "and" -> Rmw_and
+  | "or" -> Rmw_or
+  | s -> fail ln "unknown atomicrmw op %S" s
+
+(* "@f(args)" -> name, arg operands *)
+let parse_call_tail ctx (s : string) : string * operand list =
+  let s = strip s in
+  match String.index_opt s '(' with
+  | None -> fail ctx.line "malformed call %S" s
+  | Some lp ->
+      if s.[String.length s - 1] <> ')' then fail ctx.line "malformed call %S" s;
+      let callee = String.sub s 0 lp in
+      let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
+      let args = if strip inner = "" then [] else List.map (parse_operand ctx) (split_top_commas inner) in
+      if String.length callee < 2 || callee.[0] <> '@' then
+        fail ctx.line "malformed callee %S" callee;
+      (String.sub callee 1 (String.length callee - 1), args)
+
+let parse_shuffle_mask ctx (s : string) : int array =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '[' || s.[String.length s - 1] <> ']' then
+    fail ctx.line "malformed shuffle mask %S" s;
+  String.sub s 1 (String.length s - 2)
+  |> String.split_on_char ','
+  |> List.map (fun x -> int_of_string (strip x))
+  |> Array.of_list
+
+(* one instruction body, with optional destination already split off *)
+let parse_rhs ctx (dest : (string * Types.t) option) (s : string) : t =
+  let op, rest = token s in
+  let dreg () =
+    match dest with
+    | Some (name, ty) -> declare_reg ctx name ty
+    | None -> fail ctx.line "instruction %S requires a destination" op
+  in
+  let ops () = List.map (parse_operand ctx) (split_top_commas rest) in
+  match (binop_of_string op, fbinop_of_string op, cast_of_string op) with
+  | Some bop, _, _ -> (
+      match ops () with
+      | [ a; b ] -> Binop (dreg (), bop, a, b)
+      | _ -> fail ctx.line "binop arity")
+  | _, Some fop, _ -> (
+      match ops () with
+      | [ a; b ] -> Fbinop (dreg (), fop, a, b)
+      | _ -> fail ctx.line "fbinop arity")
+  | _, _, Some c -> Cast (dreg (), c, parse_operand ctx rest)
+  | None, None, None -> (
+      match op with
+      | "icmp" ->
+          let cc, rest = token rest in
+          (match List.map (parse_operand ctx) (split_top_commas rest) with
+          | [ a; b ] -> Icmp (dreg (), icmp_of_string ctx.line cc, a, b)
+          | _ -> fail ctx.line "icmp arity")
+      | "fcmp" ->
+          let cc, rest = token rest in
+          (match List.map (parse_operand ctx) (split_top_commas rest) with
+          | [ a; b ] -> Fcmp (dreg (), fcmp_of_string ctx.line cc, a, b)
+          | _ -> fail ctx.line "fcmp arity")
+      | "select" -> (
+          match ops () with
+          | [ c; a; b ] -> Select (dreg (), c, a, b)
+          | _ -> fail ctx.line "select arity")
+      | "mov" -> Mov (dreg (), parse_operand ctx rest)
+      | "load" -> Load (dreg (), parse_operand ctx rest)
+      | "store" -> (
+          match ops () with
+          | [ v; a ] -> Store (v, a)
+          | _ -> fail ctx.line "store arity")
+      | "alloca" -> Alloca (dreg (), int_of_string (strip rest))
+      | "call" ->
+          let callee, args = parse_call_tail ctx rest in
+          (match dest with
+          | Some (name, ty) -> Call (Some (declare_reg ctx name ty), callee, args)
+          | None -> Call (None, callee, args))
+      | "call_ind" -> (
+          (* "%fp.3(%a.1, ...)" *)
+          match String.index_opt rest '(' with
+          | None -> fail ctx.line "malformed call_ind %S" rest
+          | Some lp ->
+              let fp = parse_operand ctx (String.sub rest 0 lp) in
+              let inner = String.sub rest (lp + 1) (String.length rest - lp - 2) in
+              let args =
+                if strip inner = "" then []
+                else List.map (parse_operand ctx) (split_top_commas inner)
+              in
+              (match dest with
+              | Some (name, ty) ->
+                  Call_ind (Some (declare_reg ctx name ty), Some ty, fp, args)
+              | None -> Call_ind (None, None, fp, args)))
+      | "atomicrmw" ->
+          let rop, rest = token rest in
+          (match List.map (parse_operand ctx) (split_top_commas rest) with
+          | [ a; x ] -> Atomic_rmw (dreg (), rmw_of_string ctx.line rop, a, x)
+          | _ -> fail ctx.line "atomicrmw arity")
+      | "cmpxchg" -> (
+          match ops () with
+          | [ a; e; d ] -> Cmpxchg (dreg (), a, e, d)
+          | _ -> fail ctx.line "cmpxchg arity")
+      | "extractlane" -> (
+          match split_top_commas rest with
+          | [ v; l ] -> Extractlane (dreg (), parse_operand ctx v, int_of_string (strip l))
+          | _ -> fail ctx.line "extractlane arity")
+      | "insertlane" -> (
+          match split_top_commas rest with
+          | [ v; l; s ] ->
+              Insertlane
+                (dreg (), parse_operand ctx v, int_of_string (strip l), parse_operand ctx s)
+          | _ -> fail ctx.line "insertlane arity")
+      | "broadcast" -> Broadcast (dreg (), parse_operand ctx rest)
+      | "shuffle" -> (
+          match split_top_commas rest with
+          | [ v; mask ] -> Shuffle (dreg (), parse_operand ctx v, parse_shuffle_mask ctx mask)
+          | _ -> fail ctx.line "shuffle arity")
+      | "ptestz" -> Ptestz (dreg (), parse_operand ctx rest)
+      | "gather" -> Gather (dreg (), parse_operand ctx rest)
+      | "scatter" -> (
+          match ops () with
+          | [ v; a ] -> Scatter (v, a)
+          | _ -> fail ctx.line "scatter arity")
+      | op -> fail ctx.line "unknown instruction %S" op)
+
+let parse_label ctx (s : string) : string =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '%' then fail ctx.line "expected block label, got %S" s
+  else String.sub s 1 (String.length s - 1)
+
+let parse_terminator ctx (s : string) : terminator =
+  let op, rest = token s in
+  match op with
+  | "ret" -> if strip rest = "void" then Ret None else Ret (Some (parse_operand ctx rest))
+  | "unreachable" -> Unreachable
+  | "br" -> (
+      match split_top_commas rest with
+      | [ l ] -> Br (parse_label ctx l)
+      | [ c; t; f ] -> Cond_br (parse_operand ctx c, parse_label ctx t, parse_label ctx f)
+      | _ -> fail ctx.line "malformed br %S" rest)
+  | "vbr" -> (
+      (* "OP, %t, %f, recover %r" *)
+      match split_top_commas rest with
+      | [ m; t; f; r ] ->
+          let rword, rlbl = token r in
+          if rword <> "recover" then fail ctx.line "expected 'recover' in vbr";
+          Vbr (parse_operand ctx m, parse_label ctx t, parse_label ctx f, parse_label ctx rlbl)
+      | _ -> fail ctx.line "malformed vbr %S" rest)
+  | "vbr.nocheck" -> (
+      match split_top_commas rest with
+      | [ m; t; f ] -> Vbr_unchecked (parse_operand ctx m, parse_label ctx t, parse_label ctx f)
+      | _ -> fail ctx.line "malformed vbr.nocheck %S" rest)
+  | op -> fail ctx.line "unknown terminator %S" op
+
+let is_terminator_line (s : string) =
+  let op, _ = token s in
+  List.mem op [ "ret"; "br"; "vbr"; "vbr.nocheck"; "unreachable" ]
+
+(* instruction or terminator line; dispatches on "%dst = TY rhs" *)
+let parse_instr_line ctx (s : string) : [ `Instr of t | `Term of terminator ] =
+  if is_terminator_line s then `Term (parse_terminator ctx s)
+  else
+    match String.index_opt s '=' with
+    | Some eq
+      when String.length s > 0 && s.[0] = '%'
+           && (* not a store of "%x, ..." — dests are followed by " = " *)
+           eq > 0 && s.[eq - 1] = ' ' ->
+        let dst = strip (String.sub s 0 eq) in
+        let rhs = strip (String.sub s (eq + 1) (String.length s - eq - 1)) in
+        let ty, rhs = parse_ty ctx.line rhs in
+        `Instr (parse_rhs ctx (Some (dst, ty)) rhs)
+    | _ -> `Instr (parse_rhs ctx None s)
+
+(* ---- top level ---- *)
+
+let unhex ln (s : string) : string =
+  if String.length s mod 2 <> 0 then fail ln "odd-length hex initializer";
+  String.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (i * 2) 2)))
+
+(* "define RET @name(TY %p.0, ...) [unhardened] {" *)
+let parse_define ctx (s : string) : func =
+  let rest = strip s in
+  let ret, rest =
+    let w, r = token rest in
+    if w = "void" then (None, r)
+    else
+      let ty, r' = parse_ty ctx.line (w ^ " " ^ r) in
+      (Some ty, r')
+  in
+  match String.index_opt rest '(' with
+  | None -> fail ctx.line "malformed define %S" s
+  | Some lp ->
+      let name = strip (String.sub rest 0 lp) in
+      let name =
+        if String.length name > 1 && name.[0] = '@' then String.sub name 1 (String.length name - 1)
+        else fail ctx.line "malformed function name %S" name
+      in
+      let rp = String.rindex rest ')' in
+      let inner = String.sub rest (lp + 1) (rp - lp - 1) in
+      let tail = strip (String.sub rest (rp + 1) (String.length rest - rp - 1)) in
+      let hardened =
+        match token tail with
+        | "unhardened", _ -> false
+        | "{", _ | "", _ -> true
+        | w, _ -> fail ctx.line "unexpected %S after define" w
+      in
+      let params =
+        if strip inner = "" then []
+        else
+          List.map
+            (fun p ->
+              let ty, rest = parse_ty ctx.line p in
+              let r = declare_reg ctx (strip rest) ty in
+              r)
+            (split_top_commas inner)
+      in
+      {
+        fname = name;
+        params;
+        ret_ty = ret;
+        blocks = [];
+        next_reg = 0;
+        loops = [];
+        hardened;
+      }
+
+let parse (text : string) : modul =
+  let lines = String.split_on_char '\n' text in
+  let m = { funcs = []; globals = [] } in
+  let ctx = { regs = Hashtbl.create 64; line = 0 } in
+  let cur_func : func option ref = ref None in
+  let cur_label = ref "" in
+  let cur_instrs : t list ref = ref [] in
+  let cur_blocks : (string * block) list ref = ref [] in
+  let flush_block term =
+    if !cur_label <> "" then begin
+      cur_blocks := (!cur_label, { instrs = List.rev !cur_instrs; term }) :: !cur_blocks;
+      cur_instrs := [];
+      cur_label := ""
+    end
+  in
+  (* pre-pass: collect destination registers of the function being read is
+     unnecessary — the printer's layout defines registers before use except
+     for loop latches, so we pre-scan each function's lines instead *)
+  let prescan (body : (int * string) list) =
+    List.iter
+      (fun (ln, line) ->
+        match String.index_opt line '=' with
+        | Some eq when String.length line > 0 && line.[0] = '%' && eq > 0 && line.[eq - 1] = ' '
+          -> (
+            let dst = strip (String.sub line 0 eq) in
+            let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+            match parse_ty ln rhs with
+            | ty, _ -> ignore (declare_reg { ctx with line = ln } dst ty)
+            | exception _ -> ())
+        | _ -> ())
+      body
+  in
+  let numbered = List.mapi (fun i l -> (i + 1, strip l)) lines in
+  List.iter
+    (fun (ln, line) ->
+      ctx.line <- ln;
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "global " then begin
+        let rest = strip (String.sub line 7 (String.length line - 7)) in
+        match String.index_opt rest '[' with
+        | None -> fail ln "malformed global %S" line
+        | Some lb ->
+            let name = String.sub rest 1 (lb - 1) in
+            let rb = String.index rest ']' in
+            let size = int_of_string (String.sub rest (lb + 1) (rb - lb - 1)) in
+            let tail = strip (String.sub rest (rb + 1) (String.length rest - rb - 1)) in
+            let ginit =
+              if tail = "" then None
+              else
+                match token tail with
+                | "=", hex -> Some (unhex ln (strip hex))
+                | _ -> fail ln "malformed global initializer %S" tail
+            in
+            m.globals <- m.globals @ [ { gname = name; gsize = size; ginit } ]
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "define " then begin
+        Hashtbl.reset ctx.regs;
+        (* prescan this function's body for destination registers *)
+        let body =
+          let after = List.filter (fun (l2, _) -> l2 > ln) numbered in
+          let rec take acc = function
+            | [] -> List.rev acc
+            | (_, "}") :: _ -> List.rev acc
+            | x :: rest -> take (x :: acc) rest
+          in
+          take [] after
+        in
+        let f = parse_define ctx (String.sub line 7 (String.length line - 7)) in
+        prescan body;
+        cur_func := Some f;
+        cur_blocks := [];
+        cur_instrs := [];
+        cur_label := ""
+      end
+      else if line = "}" then begin
+        match !cur_func with
+        | None -> fail ln "stray '}'"
+        | Some f ->
+            flush_block Unreachable;
+            f.blocks <- List.rev !cur_blocks;
+            (* next_reg = 1 + max rid seen *)
+            let mx = Hashtbl.fold (fun rid _ acc -> max rid acc) ctx.regs (-1) in
+            f.next_reg <- mx + 1;
+            m.funcs <- m.funcs @ [ f ];
+            cur_func := None
+      end
+      else if String.length line > 1 && line.[String.length line - 1] = ':' then begin
+        (* a new block label; the previous block must have ended with a
+           terminator and been flushed *)
+        if !cur_label <> "" then fail ln "block %S has no terminator" !cur_label;
+        cur_label := String.sub line 0 (String.length line - 1)
+      end
+      else begin
+        if !cur_func = None then fail ln "instruction outside function: %S" line;
+        if !cur_label = "" then fail ln "instruction outside block: %S" line;
+        match parse_instr_line ctx line with
+        | `Instr i -> cur_instrs := i :: !cur_instrs
+        | `Term t -> flush_block t
+      end)
+    numbered;
+  m
+
+let parse_file (path : string) : modul =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s

@@ -1,0 +1,9 @@
+(** Parser for the textual IR emitted by {!Printer}; the round trip
+    [parse (Printer.modul_to_string m)] reconstructs [m] up to loop
+    metadata. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : string -> Instr.modul
+val parse_file : string -> Instr.modul

@@ -1,0 +1,159 @@
+(** Textual rendering of IR modules, in an LLVM-flavoured syntax.
+
+    Used by the examples (to show native vs. SWIFT-R vs. ELZAR code, as in
+    the paper's Figs. 5 and 10), by error messages, and by the test suite. *)
+
+open Instr
+
+let string_of_binop = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Udiv -> "udiv"
+  | Srem -> "srem"
+  | Urem -> "urem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let string_of_fbinop = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let string_of_icmp = function
+  | Ieq -> "eq"
+  | Ine -> "ne"
+  | Islt -> "slt"
+  | Isle -> "sle"
+  | Isgt -> "sgt"
+  | Isge -> "sge"
+  | Iult -> "ult"
+  | Iule -> "ule"
+  | Iugt -> "ugt"
+  | Iuge -> "uge"
+
+let string_of_fcmp = function
+  | Foeq -> "oeq"
+  | Fone -> "one"
+  | Folt -> "olt"
+  | Fole -> "ole"
+  | Fogt -> "ogt"
+  | Foge -> "oge"
+
+let string_of_cast = function
+  | Trunc -> "trunc"
+  | Zext -> "zext"
+  | Sext -> "sext"
+  | Fptosi -> "fptosi"
+  | Sitofp -> "sitofp"
+  | Fpext -> "fpext"
+  | Fptrunc -> "fptrunc"
+  | Bitcast -> "bitcast"
+
+let string_of_rmw = function
+  | Rmw_add -> "add"
+  | Rmw_sub -> "sub"
+  | Rmw_xchg -> "xchg"
+  | Rmw_and -> "and"
+  | Rmw_or -> "or"
+
+let string_of_reg (r : reg) = Printf.sprintf "%%%s.%d" r.rname r.rid
+
+let string_of_operand = function
+  | Reg r -> string_of_reg r
+  | Imm (t, v) -> Printf.sprintf "%s %Ld" (Types.to_string t) v
+  | Fimm (t, v) -> Printf.sprintf "%s %h" (Types.to_string t) v
+  | Glob g -> Printf.sprintf "@%s" g
+  | Fref f -> Printf.sprintf "@fn:%s" f
+
+let so = string_of_operand
+
+let sdest (r : reg) =
+  Printf.sprintf "%s = %s " (string_of_reg r) (Types.to_string r.rty)
+
+let string_of_instr (i : t) =
+  match i with
+  | Binop (r, op, a, b) ->
+      Printf.sprintf "%s%s %s, %s" (sdest r) (string_of_binop op) (so a) (so b)
+  | Fbinop (r, op, a, b) ->
+      Printf.sprintf "%s%s %s, %s" (sdest r) (string_of_fbinop op) (so a) (so b)
+  | Icmp (r, cc, a, b) ->
+      Printf.sprintf "%sicmp %s %s, %s" (sdest r) (string_of_icmp cc) (so a) (so b)
+  | Fcmp (r, cc, a, b) ->
+      Printf.sprintf "%sfcmp %s %s, %s" (sdest r) (string_of_fcmp cc) (so a) (so b)
+  | Select (r, c, a, b) ->
+      Printf.sprintf "%sselect %s, %s, %s" (sdest r) (so c) (so a) (so b)
+  | Cast (r, k, a) -> Printf.sprintf "%s%s %s" (sdest r) (string_of_cast k) (so a)
+  | Mov (r, a) -> Printf.sprintf "%smov %s" (sdest r) (so a)
+  | Load (r, a) -> Printf.sprintf "%sload %s" (sdest r) (so a)
+  | Store (v, a) -> Printf.sprintf "store %s, %s" (so v) (so a)
+  | Alloca (r, n) -> Printf.sprintf "%salloca %d" (sdest r) n
+  | Call (Some r, f, args) ->
+      Printf.sprintf "%scall @%s(%s)" (sdest r) f (String.concat ", " (List.map so args))
+  | Call (None, f, args) ->
+      Printf.sprintf "call @%s(%s)" f (String.concat ", " (List.map so args))
+  | Call_ind (r, _, fp, args) ->
+      let d = match r with Some r -> sdest r | None -> "" in
+      Printf.sprintf "%scall_ind %s(%s)" d (so fp) (String.concat ", " (List.map so args))
+  | Atomic_rmw (r, op, addr, x) ->
+      Printf.sprintf "%satomicrmw %s %s, %s" (sdest r) (string_of_rmw op) (so addr) (so x)
+  | Cmpxchg (r, addr, e, d) ->
+      Printf.sprintf "%scmpxchg %s, %s, %s" (sdest r) (so addr) (so e) (so d)
+  | Extractlane (r, v, l) -> Printf.sprintf "%sextractlane %s, %d" (sdest r) (so v) l
+  | Insertlane (r, v, l, s) ->
+      Printf.sprintf "%sinsertlane %s, %d, %s" (sdest r) (so v) l (so s)
+  | Broadcast (r, s) -> Printf.sprintf "%sbroadcast %s" (sdest r) (so s)
+  | Shuffle (r, v, perm) ->
+      let p = String.concat "," (Array.to_list (Array.map string_of_int perm)) in
+      Printf.sprintf "%sshuffle %s, [%s]" (sdest r) (so v) p
+  | Ptestz (r, v) -> Printf.sprintf "%sptestz %s" (sdest r) (so v)
+  | Gather (r, v) -> Printf.sprintf "%sgather %s" (sdest r) (so v)
+  | Scatter (v, a) -> Printf.sprintf "scatter %s, %s" (so v) (so a)
+
+let string_of_terminator = function
+  | Ret None -> "ret void"
+  | Ret (Some o) -> Printf.sprintf "ret %s" (so o)
+  | Br l -> Printf.sprintf "br %%%s" l
+  | Cond_br (c, t, f) -> Printf.sprintf "br %s, %%%s, %%%s" (so c) t f
+  | Vbr (m, t, f, r) -> Printf.sprintf "vbr %s, %%%s, %%%s, recover %%%s" (so m) t f r
+  | Vbr_unchecked (m, t, f) -> Printf.sprintf "vbr.nocheck %s, %%%s, %%%s" (so m) t f
+  | Unreachable -> "unreachable"
+
+let pp_func fmt (f : func) =
+  let params =
+    String.concat ", "
+      (List.map
+         (fun r -> Printf.sprintf "%s %s" (Types.to_string r.rty) (string_of_reg r))
+         f.params)
+  in
+  let ret = match f.ret_ty with None -> "void" | Some t -> Types.to_string t in
+  Format.fprintf fmt "define %s @%s(%s)%s {@." ret f.fname params
+    (if f.hardened then "" else " unhardened");
+  List.iter
+    (fun (l, b) ->
+      Format.fprintf fmt "%s:@." l;
+      List.iter (fun i -> Format.fprintf fmt "  %s@." (string_of_instr i)) b.instrs;
+      Format.fprintf fmt "  %s@." (string_of_terminator b.term))
+    f.blocks;
+  Format.fprintf fmt "}@."
+
+let hex_of_string s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c)) (List.init (String.length s) (String.get s)))
+
+let pp_modul fmt (m : modul) =
+  List.iter
+    (fun g ->
+      match g.ginit with
+      | None -> Format.fprintf fmt "global @%s[%d]@." g.gname g.gsize
+      | Some init -> Format.fprintf fmt "global @%s[%d] = %s@." g.gname g.gsize (hex_of_string init))
+    m.globals;
+  List.iter (fun f -> Format.fprintf fmt "@.%a" pp_func f) m.funcs
+
+let func_to_string f = Format.asprintf "%a" pp_func f
+let modul_to_string m = Format.asprintf "%a" pp_modul m

@@ -1,0 +1,18 @@
+(** Textual rendering of IR modules in an LLVM-flavoured syntax; used by
+    the examples (native vs. SWIFT-R vs. ELZAR code, as in the paper's
+    Figs. 5 and 10), error messages and tests. *)
+
+val string_of_binop : Instr.binop -> string
+val string_of_fbinop : Instr.fbinop -> string
+val string_of_icmp : Instr.icmp -> string
+val string_of_fcmp : Instr.fcmp -> string
+val string_of_cast : Instr.cast -> string
+val string_of_rmw : Instr.rmw -> string
+val string_of_reg : Instr.reg -> string
+val string_of_operand : Instr.operand -> string
+val string_of_instr : Instr.t -> string
+val string_of_terminator : Instr.terminator -> string
+val pp_func : Format.formatter -> Instr.func -> unit
+val pp_modul : Format.formatter -> Instr.modul -> unit
+val func_to_string : Instr.func -> string
+val modul_to_string : Instr.modul -> string

@@ -1,0 +1,60 @@
+(** Types of the ELZAR intermediate representation: fixed-width integers,
+    floats, pointers, and fixed-length vectors ([<n x ty>] in LLVM
+    syntax). *)
+
+type scalar =
+  | I1  (** booleans, as produced by comparisons *)
+  | I8
+  | I16
+  | I32
+  | I64
+  | F32
+  | F64
+  | Ptr  (** 64-bit byte address into simulated memory *)
+
+type t =
+  | Scalar of scalar
+  | Vector of scalar * int  (** element type and lane count *)
+
+(** {1 Shorthands} *)
+
+val i1 : t
+val i8 : t
+val i16 : t
+val i32 : t
+val i64 : t
+val f32 : t
+val f64 : t
+val ptr : t
+
+(** {1 Properties} *)
+
+(** Logical width in bits ([I1] is 1). *)
+val bits : scalar -> int
+
+(** Storage footprint in bytes when the value lives in simulated memory. *)
+val bytes : scalar -> int
+
+val is_float : scalar -> bool
+val is_int : scalar -> bool
+
+(** The integer scalar carrying a comparison mask for an element type: AVX
+    compares fill lanes with all-ones/all-zeros of the element's width. *)
+val mask_elem : scalar -> scalar
+
+val elem : t -> scalar
+val lanes : t -> int
+val is_vector : t -> bool
+
+(** Lanes a 256-bit YMM register holds for an element type ([I1] widens to
+    64-bit mask lanes). *)
+val ymm_lanes : scalar -> int
+
+(** The YMM vector type ELZAR replicates a scalar into (paper §III-D,
+    option 3: fill the whole register). *)
+val ymm_of : scalar -> t
+
+val equal : t -> t -> bool
+val scalar_to_string : scalar -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

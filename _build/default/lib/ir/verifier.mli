@@ -1,0 +1,20 @@
+(** Structural and type checking of IR modules.
+
+    Runs after construction and after every transformation pass in the test
+    suite; a pass that produces ill-typed code is a bug, so the main entry
+    point raises.
+
+    Global and function addresses ([Glob]/[Fref]) are scalar pointers but
+    may appear wherever a pointer-element vector is expected: they are
+    link-time constants and splat for free, which the ELZAR pass relies
+    on. *)
+
+exception Ill_formed of string list
+
+(** Errors of one function, as human-readable strings (empty = valid). *)
+val verify_func : Instr.modul -> Instr.func -> string list
+
+val verify : Instr.modul -> (unit, string list) result
+
+(** @raise Ill_formed when the module does not verify. *)
+val verify_exn : Instr.modul -> unit

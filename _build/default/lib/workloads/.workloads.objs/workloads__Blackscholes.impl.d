@@ -1,0 +1,1 @@
+lib/workloads/blackscholes.ml: Builder Data Fmath Instr Int64 Ir List Parallel Random Rtlib Types Workload

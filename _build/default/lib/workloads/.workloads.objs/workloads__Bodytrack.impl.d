@@ -1,0 +1,1 @@
+lib/workloads/bodytrack.ml: Builder Data Fmath Instr Int64 Ir Parallel Rtlib Types Workload

@@ -1,0 +1,1 @@
+lib/workloads/canneal.ml: Builder Data Instr Int64 Ir Parallel Random Rtlib Types Workload

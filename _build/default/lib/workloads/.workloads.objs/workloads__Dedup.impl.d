@@ -1,0 +1,1 @@
+lib/workloads/dedup.ml: Buffer Builder Char Data Instr Ir Parallel Random Rtlib String Types Workload

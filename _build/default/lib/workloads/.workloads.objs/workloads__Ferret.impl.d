@@ -1,0 +1,1 @@
+lib/workloads/ferret.ml: Builder Data Instr Int64 Ir Parallel Random Rtlib Types Workload

@@ -1,0 +1,1 @@
+lib/workloads/fluidanimate.ml: Array Builder Data Instr Int64 Ir Parallel Random Rtlib Types Workload

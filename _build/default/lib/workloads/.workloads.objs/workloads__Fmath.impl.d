@@ -1,0 +1,1 @@
+lib/workloads/fmath.ml: Builder Instr Ir List Types

@@ -1,0 +1,1 @@
+lib/workloads/fmath.mli: Ir

@@ -1,0 +1,1 @@
+lib/workloads/kmeans.ml: Builder Cpu Data Instr Int64 Ir Parallel Random Rtlib Types Workload

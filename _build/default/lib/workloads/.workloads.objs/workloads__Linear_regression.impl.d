@@ -1,0 +1,1 @@
+lib/workloads/linear_regression.ml: Array Builder Data Instr Int64 Ir List Parallel Random Rtlib Types Workload

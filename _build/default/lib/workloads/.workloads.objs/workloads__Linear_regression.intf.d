@@ -1,0 +1,1 @@
+lib/workloads/linear_regression.mli: Workload

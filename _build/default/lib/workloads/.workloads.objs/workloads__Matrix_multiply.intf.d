@@ -1,0 +1,1 @@
+lib/workloads/matrix_multiply.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Builder Data Instr Int64 Ir Parallel Rtlib Types Workload

@@ -1,0 +1,1 @@
+lib/workloads/parallel.ml: Builder Instr Ir Types

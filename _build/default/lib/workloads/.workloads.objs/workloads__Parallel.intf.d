@@ -1,0 +1,1 @@
+lib/workloads/parallel.mli: Ir

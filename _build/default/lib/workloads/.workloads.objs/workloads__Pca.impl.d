@@ -1,0 +1,1 @@
+lib/workloads/pca.ml: Builder Data Instr Ir Parallel Random Rtlib Types Workload

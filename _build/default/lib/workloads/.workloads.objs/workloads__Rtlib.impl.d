@@ -1,0 +1,1 @@
+lib/workloads/rtlib.ml: Builder Instr Ir Linker Types

@@ -1,0 +1,1 @@
+lib/workloads/streamcluster.ml: Builder Data Instr Ir Parallel Rtlib Types Workload

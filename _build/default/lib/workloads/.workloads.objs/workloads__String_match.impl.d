@@ -1,0 +1,1 @@
+lib/workloads/string_match.ml: Array Builder Char Data Instr Ir List Parallel Random Rtlib String Types Workload

@@ -1,0 +1,1 @@
+lib/workloads/string_match.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/swaptions.ml: Builder Data Fmath Instr Ir Parallel Rtlib Types Workload

@@ -1,0 +1,1 @@
+lib/workloads/word_count.ml: Array Buffer Builder Char Data Instr Ir Parallel Random Rtlib String Types Workload

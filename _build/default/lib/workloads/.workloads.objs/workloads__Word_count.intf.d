@@ -1,0 +1,1 @@
+lib/workloads/word_count.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Cpu Elzar Fault Int64 Ir

@@ -1,0 +1,1 @@
+lib/workloads/x264.ml: Array Builder Data Instr Int64 Ir Parallel Random Rtlib Types Workload

@@ -1,0 +1,138 @@
+(** PARSEC bodytrack — annealed particle filter for pose tracking.
+
+    Skipped in the paper ("uses C++ exceptions not supported by ELZAR",
+    §V-A); reimplemented here as evaluation beyond the paper's coverage.
+    Persistent workers score their slice of particles against the
+    observation (float-heavy likelihoods), a barrier separates scoring from
+    the sequential resampling step (thread 0 builds the cumulative weight
+    table), and workers then resample and propagate with per-thread noise
+    — the binary search over cumulative weights supplies bodytrack's
+    data-dependent branches. *)
+
+open Ir
+open Instr
+
+let dims = 8
+let frames = 3
+
+let nparticles = function
+  | Workload.Tiny -> 64
+  | Workload.Small -> 256
+  | Workload.Medium -> 768
+  | Workload.Large -> 2_048
+
+let build size : modul =
+  let n = nparticles size in
+  let m = Builder.create_module () in
+  Builder.global m "state" (n * dims * 8);  (* particle states, f64 *)
+  Builder.global m "nextstate" (n * dims * 8);
+  Builder.global m "obs" (dims * 8);  (* the observation per frame *)
+  Builder.global m "weight" (n * 8);
+  Builder.global m "cumw" ((n + 1) * 8);
+  Builder.global m "rng" (Parallel.max_threads * 8);
+  Builder.global m "bar1" 8;
+  Builder.global m "bar2" 8;
+  Builder.global m "bar3" 8;
+  let open Builder in
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c n) in
+  let rng_cell = gep b (Glob "rng") tid 8 in
+  for_ b ~name:"frame" ~lo:(i64c 0) ~hi:(i64c frames) (fun frame ->
+      (* 1. likelihood of each owned particle against the observation *)
+      for_ b ~name:"i" ~lo ~hi (fun i ->
+          let d2 = fresh b ~name:"d2" Types.f64 in
+          assign b d2 (f64c 0.0);
+          for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c dims) (fun c ->
+              let s = load b Types.f64 (gep b (Glob "state") (add b (mul b i (i64c dims)) c) 8) in
+              let o = load b Types.f64 (gep b (Glob "obs") c 8) in
+              let frame_drift = fmul b (sitofp b Types.f64 frame) (f64c 0.05) in
+              let d = fsub b s (fadd b o frame_drift) in
+              assign b d2 (fadd b (Reg d2) (fmul b d d)));
+          let w = Fmath.exp b (fmul b (f64c (-0.5)) (Reg d2)) in
+          store b w (gep b (Glob "weight") i 8));
+      call0 b "barrier" [ Glob "bar1"; nth ];
+      (* 2. thread 0 builds the cumulative weight table (sequential) *)
+      if_ b
+        (icmp b Ieq tid (i64c 0))
+        ~then_:(fun () ->
+          let acc = fresh b ~name:"acc" Types.f64 in
+          assign b acc (f64c 0.0);
+          store b (f64c 0.0) (Glob "cumw");
+          for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+              assign b acc (fadd b (Reg acc) (load b Types.f64 (gep b (Glob "weight") i 8)));
+              store b (Reg acc) (gep b (Glob "cumw") (add b i (i64c 1)) 8));
+          call0 b "output_f64" [ Reg acc ])
+        ();
+      call0 b "barrier" [ Glob "bar2"; nth ];
+      (* 3. resample owned slots by binary search over cumw, then propagate
+         with per-thread noise *)
+      let totw = load b Types.f64 (gep b (Glob "cumw") (i64c n) 8) in
+      for_ b ~name:"i" ~lo ~hi (fun i ->
+          let r = callv b ~ret:Types.i64 "rand64" [ rng_cell ] in
+          let u01 =
+            fmul b
+              (sitofp b Types.f64 (lshr b r (i64c 11)))
+              (f64c (1.0 /. 9007199254740992.0))
+          in
+          let target = fmul b u01 totw in
+          let lo2 = fresh b ~name:"lo" Types.i64 and hi2 = fresh b ~name:"hi" Types.i64 in
+          assign b lo2 (i64c 0);
+          assign b hi2 (i64c n);
+          while_ b
+            ~cond:(fun () -> icmp b Islt (Reg lo2) (Reg hi2))
+            ~body:(fun () ->
+              let mid = lshr b (add b (Reg lo2) (Reg hi2)) (i64c 1) in
+              let c = load b Types.f64 (gep b (Glob "cumw") (add b mid (i64c 1)) 8) in
+              if_ b (fcmp b Folt c target)
+                ~then_:(fun () -> assign b lo2 (add b mid (i64c 1)))
+                ~else_:(fun () -> assign b hi2 mid)
+                ());
+          let src = select b (icmp b Islt (Reg lo2) (i64c n)) (Reg lo2) (i64c (n - 1)) in
+          for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c dims) (fun c ->
+              let v = load b Types.f64 (gep b (Glob "state") (add b (mul b src (i64c dims)) c) 8) in
+              let r2 = callv b ~ret:Types.i64 "rand64" [ rng_cell ] in
+              let noise =
+                fmul b
+                  (fsub b
+                     (fmul b
+                        (sitofp b Types.f64 (lshr b r2 (i64c 11)))
+                        (f64c (2.0 /. 9007199254740992.0)))
+                     (f64c 1.0))
+                  (f64c 0.02)
+              in
+              store b (fadd b v noise)
+                (gep b (Glob "nextstate") (add b (mul b i (i64c dims)) c) 8)));
+      call0 b "barrier" [ Glob "bar3"; nth ];
+      (* 4. swap state buffers: each worker copies its own slice back *)
+      for_ b ~name:"i" ~lo ~hi (fun i ->
+          for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c dims) (fun c ->
+              let off = add b (mul b i (i64c dims)) c in
+              store b (load b Types.f64 (gep b (Glob "nextstate") off 8))
+                (gep b (Glob "state") off 8)));
+      call0 b "barrier" [ Glob "bar1"; nth ]);
+  ret b None;
+  (* final estimate: mean of dimension 0 over all particles *)
+  let b, _ = func m "emit" [] in
+  let s = fresh b ~name:"s" Types.f64 in
+  assign b s (f64c 0.0);
+  for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+      assign b s (fadd b (Reg s) (load b Types.f64 (gep b (Glob "state") (mul b i (i64c dims)) 8))));
+  call0 b "output_f64" [ fdiv b (Reg s) (f64c (float_of_int n)) ];
+  ret b None;
+  Parallel.standard_main m ~worker:"work" ~finish:(fun b -> Builder.call0 b "emit" []);
+  Rtlib.link m
+
+let init size machine =
+  let n = nparticles size in
+  let st = Data.rng 73 in
+  Data.fill_f64 machine "state" (n * dims) (fun _ -> Data.uniform st (-1.0) 1.0);
+  Data.fill_f64 machine "obs" dims (fun _ -> Data.uniform st (-0.5) 0.5);
+  Data.fill_i64 machine "rng" Parallel.max_threads (fun t ->
+      Int64.of_int ((t * 40503) + 9973))
+
+let workload =
+  Workload.make ~name:"bodytrack" ~fi_ok:false
+    ~description:"PARSEC bodytrack (particle filter; skipped in the paper: C++ exceptions)"
+    ~build ~init ()

@@ -1,0 +1,3 @@
+(** PARSEC bodytrack, skipped by the paper (C++ exceptions); extension coverage. *)
+
+val workload : Workload.t

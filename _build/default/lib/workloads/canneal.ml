@@ -1,0 +1,137 @@
+(** PARSEC canneal — simulated-annealing placement.
+
+    The paper had to skip canneal ("has inline assembly", §V-A); the IR
+    reimplementation has no such limitation, so this is evaluation beyond
+    the paper's coverage.  The netlist is partitioned per thread (neighbor
+    lists stay inside a partition, keeping runs deterministic across build
+    flavours); each worker anneals its partition with randomized swaps,
+    accepting cost-increasing moves with decaying probability.  The random
+    index chasing gives it canneal's characteristic pointer-heavy loads. *)
+
+open Ir
+open Instr
+
+let neighbors = 4
+let grid = 256
+
+(* elements per partition (paper benchmarks run with up to 16 threads) *)
+let per_part = function
+  | Workload.Tiny -> 64
+  | Workload.Small -> 192
+  | Workload.Medium -> 448
+  | Workload.Large -> 1_024
+
+let swaps_per_elem = 6
+
+let build size : modul =
+  let np = per_part size in
+  let total = np * Parallel.max_threads in
+  let m = Builder.create_module () in
+  (* per element: x, y (i64 each); neighbor ids (relative to partition) *)
+  Builder.global m "locx" (total * 8);
+  Builder.global m "locy" (total * 8);
+  Builder.global m "nbr" (total * neighbors * 8);
+  Builder.global m "rng" (Parallel.max_threads * 8);
+  Builder.global m "pcost" (Parallel.max_threads * 8);
+  let open Builder in
+  (* hardened: Manhattan cost of one element to its neighbors *)
+  let b, ps = func m "elem_cost" ~ret:Types.i64 [ ("base", Types.i64); ("e", Types.i64) ] in
+  let base, e = match ps with [ a; b ] -> (Reg a, Reg b) | _ -> assert false in
+  let idx = add b base e in
+  let x = load b Types.i64 (gep b (Glob "locx") idx 8) in
+  let y = load b Types.i64 (gep b (Glob "locy") idx 8) in
+  let cost = fresh b ~name:"cost" Types.i64 in
+  assign b cost (i64c 0);
+  for_ b ~name:"k" ~lo:(i64c 0) ~hi:(i64c neighbors) (fun k ->
+      let nb = load b Types.i64 (gep b (Glob "nbr") (add b (mul b idx (i64c neighbors)) k) 8) in
+      let nidx = add b base nb in
+      let nx = load b Types.i64 (gep b (Glob "locx") nidx 8) in
+      let ny = load b Types.i64 (gep b (Glob "locy") nidx 8) in
+      let dx = sub b x nx and dy = sub b y ny in
+      let adx = select b (icmp b Islt dx (i64c 0)) (sub b (i64c 0) dx) dx in
+      let ady = select b (icmp b Islt dy (i64c 0)) (sub b (i64c 0) dy) dy in
+      assign b cost (add b (Reg cost) (add b adx ady)));
+  ret b (Some (Reg cost));
+  (* worker: anneal one partition *)
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, _nth = Parallel.worker_ids b arg in
+  let base = mul b tid (i64c np) in
+  let rng_cell = gep b (Glob "rng") tid 8 in
+  let nswaps = np * swaps_per_elem in
+  let temp = fresh b ~name:"temp" Types.i64 in
+  assign b temp (i64c 4096);
+  for_ b ~name:"s" ~lo:(i64c 0) ~hi:(i64c nswaps) (fun s ->
+      let r = callv b ~ret:Types.i64 "rand64" [ rng_cell ] in
+      let e1 = urem b (lshr b r (i64c 3)) (i64c np) in
+      let e2 = urem b (lshr b r (i64c 23)) (i64c np) in
+      let before =
+        add b
+          (callv b ~ret:Types.i64 "elem_cost" [ base; e1 ])
+          (callv b ~ret:Types.i64 "elem_cost" [ base; e2 ])
+      in
+      (* tentatively swap the two locations *)
+      let i1 = add b base e1 and i2 = add b base e2 in
+      let swap g =
+        let a = load b Types.i64 (gep b (Glob g) i1 8) in
+        let c = load b Types.i64 (gep b (Glob g) i2 8) in
+        store b c (gep b (Glob g) i1 8);
+        store b a (gep b (Glob g) i2 8)
+      in
+      swap "locx";
+      swap "locy";
+      let after =
+        add b
+          (callv b ~ret:Types.i64 "elem_cost" [ base; e1 ])
+          (callv b ~ret:Types.i64 "elem_cost" [ base; e2 ])
+      in
+      (* accept improving moves, and worsening ones within the temperature *)
+      let delta = sub b after before in
+      let jitter = and_ b (lshr b r (i64c 43)) (sub b (Reg temp) (i64c 1)) in
+      let reject = icmp b Isgt delta jitter in
+      if_ b reject
+        ~then_:(fun () ->
+          swap "locx";
+          swap "locy")
+        ();
+      (* geometric-ish cooling *)
+      if_ b
+        (icmp b Ieq (and_ b s (i64c 255)) (i64c 255))
+        ~then_:(fun () ->
+          assign b temp (sub b (Reg temp) (lshr b (Reg temp) (i64c 2)));
+          if_ b (icmp b Islt (Reg temp) (i64c 1)) ~then_:(fun () -> assign b temp (i64c 1)) ())
+        ());
+  (* final partition cost *)
+  let total_cost = fresh b ~name:"total" Types.i64 in
+  assign b total_cost (i64c 0);
+  for_ b ~name:"e" ~lo:(i64c 0) ~hi:(i64c np) (fun e ->
+      assign b total_cost
+        (add b (Reg total_cost) (callv b ~ret:Types.i64 "elem_cost" [ base; e ])));
+  store b (Reg total_cost) (gep b (Glob "pcost") tid 8);
+  ret b None;
+  let b, ps = func m "reduce" [ ("nth", Types.i64) ] in
+  let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+  for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+      call0 b "output_i64" [ load b Types.i64 (gep b (Glob "pcost") t 8) ]);
+  ret b None;
+  Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+      match b.Builder.func.params with
+      | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+      | _ -> assert false);
+  Rtlib.link m
+
+let init size machine =
+  let np = per_part size in
+  let total = np * Parallel.max_threads in
+  let st = Data.rng 71 in
+  Data.fill_i64 machine "locx" total (fun _ -> Int64.of_int (Random.State.int st grid));
+  Data.fill_i64 machine "locy" total (fun _ -> Int64.of_int (Random.State.int st grid));
+  (* neighbor ids are partition-relative so partitions stay independent *)
+  Data.fill_i64 machine "nbr" (total * neighbors) (fun _ ->
+      Int64.of_int (Random.State.int st np));
+  Data.fill_i64 machine "rng" Parallel.max_threads (fun t -> Int64.of_int ((t * 2654435761) + 12345))
+
+let workload =
+  Workload.make ~name:"canneal" ~fi_ok:false
+    ~description:"PARSEC canneal (annealed placement; skipped in the paper: inline asm)" ~build
+    ~init ()

@@ -1,0 +1,3 @@
+(** PARSEC canneal, skipped by the paper (inline assembly); extension coverage. *)
+
+val workload : Workload.t

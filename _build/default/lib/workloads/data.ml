@@ -1,0 +1,44 @@
+(** Host-side input preparation: deterministic pseudo-random datasets poked
+    directly into the simulated memory of a loaded machine. *)
+
+let rng seed = Random.State.make [| seed; 0x5151 |]
+
+let addr_of machine name = Cpu.Machine.global_addr machine name
+
+let fill_i64 machine name count f =
+  let base = addr_of machine name in
+  for i = 0 to count - 1 do
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:8
+      (Int64.add base (Int64.of_int (i * 8)))
+      (f i)
+  done
+
+let fill_i32 machine name count f =
+  let base = addr_of machine name in
+  for i = 0 to count - 1 do
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:4
+      (Int64.add base (Int64.of_int (i * 4)))
+      (Int64.of_int (f i land 0xFFFFFFFF))
+  done
+
+let fill_f64 machine name count f =
+  let base = addr_of machine name in
+  for i = 0 to count - 1 do
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:8
+      (Int64.add base (Int64.of_int (i * 8)))
+      (Int64.bits_of_float (f i))
+  done
+
+let fill_bytes machine name count f =
+  let base = addr_of machine name in
+  for i = 0 to count - 1 do
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:1
+      (Int64.add base (Int64.of_int i))
+      (Int64.of_int (f i land 0xFF))
+  done
+
+let blit_string machine name s =
+  Cpu.Memory.blit_string machine.Cpu.Machine.mem s (addr_of machine name)
+
+(* Uniform random float in [lo, hi). *)
+let uniform st lo hi = lo +. Random.State.float st (hi -. lo)

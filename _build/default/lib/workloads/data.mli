@@ -1,0 +1,14 @@
+(** Host-side input preparation: deterministic pseudo-random datasets poked
+    directly into simulated memory (zero simulated cycles, like the paper's
+    unhardened input file reads). *)
+
+val rng : int -> Random.State.t
+val addr_of : Cpu.Machine.t -> string -> int64
+val fill_i64 : Cpu.Machine.t -> string -> int -> (int -> int64) -> unit
+val fill_i32 : Cpu.Machine.t -> string -> int -> (int -> int) -> unit
+val fill_f64 : Cpu.Machine.t -> string -> int -> (int -> float) -> unit
+val fill_bytes : Cpu.Machine.t -> string -> int -> (int -> int) -> unit
+val blit_string : Cpu.Machine.t -> string -> string -> unit
+
+(** Uniform random float in [lo, hi). *)
+val uniform : Random.State.t -> float -> float -> float

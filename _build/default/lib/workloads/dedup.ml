@@ -1,0 +1,170 @@
+(** PARSEC dedup: content-defined chunking (rolling hash), chunk
+    fingerprinting, a global deduplication table behind one lock, and RLE
+    "compression" of unique chunks.
+
+    The global-table lock serializes threads, reproducing dedup's
+    notoriously poor scalability — which partially amortizes ELZAR's
+    overhead at high thread counts (paper §V-B). *)
+
+open Ir
+open Instr
+
+let table_slots = 1024
+
+let nbytes = function
+  | Workload.Tiny -> 3_000
+  | Workload.Small -> 20_000
+  | Workload.Medium -> 80_000
+  | Workload.Large -> 300_000
+
+let build size : modul =
+  let n = nbytes size in
+  let m = Builder.create_module () in
+  Builder.global m "text" n;
+  Builder.global m "tab" (table_slots * 16);  (* (fingerprint, count) *)
+  Builder.global m "tablock" 8;
+  Builder.global m "pstats" (Parallel.max_threads * 16);  (* (chunks, compressed) *)
+  let open Builder in
+  (* hardened: fingerprint + dedup + compress one chunk [lo, hi) *)
+  let b, ps =
+    func m "handle_chunk" ~ret:Types.i64 [ ("clo", Types.i64); ("chi", Types.i64) ]
+  in
+  let clo, chi = match ps with [ a; b ] -> (Reg a, Reg b) | _ -> assert false in
+  let fp = fresh b ~name:"fp" Types.i64 in
+  assign b fp (Imm (Types.i64, 0xcbf29ce484222325L));
+  for_ b ~name:"i" ~lo:clo ~hi:chi (fun i ->
+      let c = zext b Types.i64 (load b Types.i8 (gep b (Glob "text") i 1)) in
+      assign b fp (mul b (xor b (Reg fp) c) (Imm (Types.i64, 0x100000001b3L))));
+  (* global dedup table under the global lock *)
+  let fresh_chunk = fresh b ~name:"freshc" Types.i64 in
+  call0 b "lock" [ Glob "tablock" ];
+  let idx = fresh b ~name:"idx" Types.i64 in
+  assign b idx (and_ b (Reg fp) (i64c (table_slots - 1)));
+  let done_ = fresh b ~name:"done" Types.i64 in
+  assign b done_ (i64c 0);
+  assign b fresh_chunk (i64c 0);
+  while_ b
+    ~cond:(fun () -> icmp b Ieq (Reg done_) (i64c 0))
+    ~body:(fun () ->
+      let slot = gep b (Glob "tab") (Reg idx) 16 in
+      let key = load b Types.i64 slot in
+      if_ b
+        (icmp b Ieq key (Reg fp))
+        ~then_:(fun () ->
+          let c = gep b slot (i64c 1) 8 in
+          store b (add b (load b Types.i64 c) (i64c 1)) c;
+          assign b done_ (i64c 1))
+        ~else_:(fun () ->
+          if_ b
+            (icmp b Ieq key (i64c 0))
+            ~then_:(fun () ->
+              store b (Reg fp) slot;
+              store b (i64c 1) (gep b slot (i64c 1) 8);
+              assign b fresh_chunk (i64c 1);
+              assign b done_ (i64c 1))
+            ~else_:(fun () ->
+              assign b idx (and_ b (add b (Reg idx) (i64c 1)) (i64c (table_slots - 1))))
+            ())
+        ());
+  call0 b "unlock" [ Glob "tablock" ];
+  (* "compress" unique chunks: run-length count *)
+  let compressed = fresh b ~name:"comp" Types.i64 in
+  assign b compressed (i64c 0);
+  if_ b
+    (icmp b Ine (Reg fresh_chunk) (i64c 0))
+    ~then_:(fun () ->
+      let prev = fresh b ~name:"prev" Types.i64 in
+      assign b prev (i64c (-1));
+      for_ b ~name:"i" ~lo:clo ~hi:chi (fun i ->
+          let c = zext b Types.i64 (load b Types.i8 (gep b (Glob "text") i 1)) in
+          let diff = icmp b Ine c (Reg prev) in
+          assign b compressed (add b (Reg compressed) (zext b Types.i64 diff));
+          assign b prev c))
+    ();
+  ret b (Some (Reg compressed));
+  (* worker: roll over the slice, cutting chunks at hash boundaries *)
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c n) in
+  let roll = fresh b ~name:"roll" Types.i64 in
+  let start = fresh b ~name:"start" Types.i64 in
+  let chunks = fresh b ~name:"chunks" Types.i64 in
+  let comp = fresh b ~name:"comp" Types.i64 in
+  assign b roll (i64c 0);
+  assign b start lo;
+  assign b chunks (i64c 0);
+  assign b comp (i64c 0);
+  for_ b ~name:"i" ~lo ~hi (fun i ->
+      let c = zext b Types.i64 (load b Types.i8 (gep b (Glob "text") i 1)) in
+      assign b roll (add b (mul b (Reg roll) (i64c 31)) c);
+      let len = sub b i (Reg start) in
+      let boundary =
+        or_ b
+          (zext b Types.i64 (icmp b Ieq (and_ b (Reg roll) (i64c 255)) (i64c 7)))
+          (zext b Types.i64 (icmp b Isge len (i64c 1024)))
+      in
+      if_ b
+        (icmp b Ine boundary (i64c 0))
+        ~then_:(fun () ->
+          let r = callv b ~ret:Types.i64 "handle_chunk" [ Reg start; add b i (i64c 1) ] in
+          assign b comp (add b (Reg comp) r);
+          assign b chunks (add b (Reg chunks) (i64c 1));
+          assign b start (add b i (i64c 1));
+          assign b roll (i64c 0))
+        ());
+  if_ b
+    (icmp b Islt (Reg start) hi)
+    ~then_:(fun () ->
+      let r = callv b ~ret:Types.i64 "handle_chunk" [ Reg start; hi ] in
+      assign b comp (add b (Reg comp) r);
+      assign b chunks (add b (Reg chunks) (i64c 1)))
+    ();
+  let slot = gep b (Glob "pstats") tid 16 in
+  store b (Reg chunks) slot;
+  store b (Reg comp) (gep b slot (i64c 1) 8);
+  ret b None;
+  let b, ps = func m "reduce" [ ("nth", Types.i64) ] in
+  let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tc = fresh b ~name:"tc" Types.i64 and tz = fresh b ~name:"tz" Types.i64 in
+  assign b tc (i64c 0);
+  assign b tz (i64c 0);
+  for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+      let slot = gep b (Glob "pstats") t 16 in
+      assign b tc (add b (Reg tc) (load b Types.i64 slot));
+      assign b tz (add b (Reg tz) (load b Types.i64 (gep b slot (i64c 1) 8))));
+  call0 b "output_i64" [ Reg tc ];
+  call0 b "output_i64" [ Reg tz ];
+  (* table histogram checksum *)
+  let chk = fresh b ~name:"chk" Types.i64 in
+  assign b chk (i64c 0);
+  for_ b ~name:"s" ~lo:(i64c 0) ~hi:(i64c table_slots) (fun s ->
+      let slot = gep b (Glob "tab") s 16 in
+      let k = load b Types.i64 slot in
+      let c = load b Types.i64 (gep b slot (i64c 1) 8) in
+      assign b chk (xor b (Reg chk) (add b k (mul b c (i64c 2654435761)))));
+  call0 b "output_i64" [ Reg chk ];
+  ret b None;
+  Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+      match b.Builder.func.params with
+      | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+      | _ -> assert false);
+  Rtlib.link m
+
+let init size machine =
+  let n = nbytes size in
+  let st = Data.rng 37 in
+  (* repetitive data so the dedup table actually dedups *)
+  let block = String.init 256 (fun _ -> Char.chr (Random.State.int st 256)) in
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    if Random.State.int st 3 = 0 then Buffer.add_string buf block
+    else
+      Buffer.add_string buf
+        (String.init 64 (fun _ -> Char.chr (Random.State.int st 256)))
+  done;
+  Data.blit_string machine "text" (String.sub (Buffer.contents buf) 0 n)
+
+let workload =
+  Workload.make ~name:"dedup" ~description:"PARSEC dedup (chunking + global dedup table + RLE)"
+    ~build ~init ()

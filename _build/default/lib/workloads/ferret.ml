@@ -1,0 +1,121 @@
+(** PARSEC ferret: content-based similarity search.
+
+    Each query ranks a feature-vector database by distance; the distance
+    metric is selected per-entry through a function-pointer table (ferret's
+    plugin architecture), exercising indirect calls, and the top-K
+    insertion sort supplies the high branch-miss ratio of Table II. *)
+
+open Ir
+open Instr
+
+let dim = 32
+let topk = 8
+
+let params = function
+  | Workload.Tiny -> (4, 50)
+  | Workload.Small -> (10, 200)
+  | Workload.Medium -> (16, 600)
+  | Workload.Large -> (32, 1_500)
+
+let build size : modul =
+  let q, db = params size in
+  let m = Builder.create_module () in
+  Builder.global m "queries" (q * dim * 8);
+  Builder.global m "db" (db * dim * 8);
+  Builder.global m "metric" (db * 8);  (* 0 = L2, 1 = L1 *)
+  Builder.global m "fntab" 16;  (* two function pointers, set by the driver *)
+  Builder.global m "best" (q * topk * 16);  (* (dist bits, index) *)
+  let open Builder in
+  (* hardened distance plugins *)
+  let dist_body name combine =
+    let b, ps = func m name ~ret:Types.f64 [ ("pa", Types.ptr); ("pb", Types.ptr) ] in
+    let pa, pb = match ps with [ a; c ] -> (Reg a, Reg c) | _ -> assert false in
+    let acc = fresh b ~name:"acc" Types.f64 in
+    assign b acc (f64c 0.0);
+    for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c dim) (fun c ->
+        let x = load b Types.f64 (gep b pa c 8) in
+        let y = load b Types.f64 (gep b pb c 8) in
+        let d = fsub b x y in
+        assign b acc (fadd b (Reg acc) (combine b d)));
+    ret b (Some (Reg acc))
+  in
+  dist_body "l2dist" (fun b d -> Builder.fmul b d d);
+  dist_body "l1dist" (fun b d ->
+      let open Builder in
+      let neg = fcmp b Folt d (f64c 0.0) in
+      select b neg (fsub b (f64c 0.0) d) d);
+  (* worker: queries are chunked; for each db entry call the plugin through
+     the function table, then insertion-sort into the query's top-K *)
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c q) in
+  for_ b ~name:"qi" ~lo ~hi (fun qi ->
+      let qbase = gep b (Glob "queries") (mul b qi (i64c dim)) 8 in
+      let mybest = gep b (Glob "best") (mul b qi (i64c topk)) 16 in
+      (* initialize top-K with +inf *)
+      for_ b ~name:"k" ~lo:(i64c 0) ~hi:(i64c topk) (fun k ->
+          let slot = gep b mybest k 16 in
+          store b (Imm (Types.i64, Int64.bits_of_float infinity)) slot;
+          store b (i64c (-1)) (gep b slot (i64c 1) 8));
+      for_ b ~name:"e" ~lo:(i64c 0) ~hi:(i64c db) (fun e ->
+          let ebase = gep b (Glob "db") (mul b e (i64c dim)) 8 in
+          let mi = load b Types.i64 (gep b (Glob "metric") e 8) in
+          let fp = load b Types.ptr (gep b (Glob "fntab") mi 8) in
+          let d =
+            match call_ind b ~ret:Types.f64 fp [ qbase; ebase ] with
+            | Some v -> v
+            | None -> assert false
+          in
+          let dbits = cast b Bitcast Types.i64 d in
+          (* bubble the candidate up the sorted top-K list *)
+          let cur = fresh b ~name:"cur" Types.i64 in
+          let curidx = fresh b ~name:"curidx" Types.i64 in
+          assign b cur dbits;
+          assign b curidx e;
+          for_ b ~name:"k" ~lo:(i64c 0) ~hi:(i64c topk) (fun k ->
+              let slot = gep b mybest k 16 in
+              let sb = load b Types.i64 slot in
+              let sidx = load b Types.i64 (gep b slot (i64c 1) 8) in
+              let sd = cast b Bitcast Types.f64 sb in
+              let cd = cast b Bitcast Types.f64 (Reg cur) in
+              if_ b (fcmp b Folt cd sd)
+                ~then_:(fun () ->
+                  store b (Reg cur) slot;
+                  store b (Reg curidx) (gep b slot (i64c 1) 8);
+                  assign b cur sb;
+                  assign b curidx sidx)
+                ())));
+  ret b None;
+  (* hardened reduce: emit the ranked indices *)
+  let b, _ = func m "emit" [] in
+  for_ b ~name:"qi" ~lo:(i64c 0) ~hi:(i64c q) (fun qi ->
+      let s = fresh b ~name:"s" Types.i64 in
+      assign b s (i64c 0);
+      for_ b ~name:"k" ~lo:(i64c 0) ~hi:(i64c topk) (fun k ->
+          let slot = gep b (gep b (Glob "best") (mul b qi (i64c topk)) 16) k 16 in
+          let idx = load b Types.i64 (gep b slot (i64c 1) 8) in
+          assign b s (add b (mul b (Reg s) (i64c 131)) idx));
+      call0 b "output_i64" [ Reg s ]);
+  ret b None;
+  Parallel.add_globals m;
+  let b, ps = func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  let nthreads = match ps with [ p ] -> Reg p | _ -> assert false in
+  store b (Fref "l2dist") (Glob "fntab");
+  store b (Fref "l1dist") (gep b (Glob "fntab") (i64c 1) 8);
+  Parallel.spawn_join b ~worker:"work" ~nthreads;
+  call0 b "emit" [];
+  ret b None;
+  Rtlib.link m
+
+let init size machine =
+  let q, db = params size in
+  let st = Data.rng 41 in
+  Data.fill_f64 machine "queries" (q * dim) (fun _ -> Data.uniform st (-1.0) 1.0);
+  Data.fill_f64 machine "db" (db * dim) (fun _ -> Data.uniform st (-1.0) 1.0);
+  Data.fill_i64 machine "metric" db (fun _ -> Int64.of_int (Random.State.int st 2))
+
+let workload =
+  Workload.make ~name:"ferret"
+    ~description:"PARSEC ferret (similarity search, indirect calls, top-K ranking)" ~build ~init
+    ()

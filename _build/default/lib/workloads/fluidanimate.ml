@@ -1,0 +1,138 @@
+(** PARSEC fluidanimate: SPH-flavoured particle simulation on a 1-D cell
+    grid — per step, each particle accumulates density from its own and
+    neighbouring cells under a cutoff test (the data-dependent branch that
+    gives fluidanimate its 14.7% branch-miss ratio), then integrates. *)
+
+open Ir
+open Instr
+
+let cell_cap = 4
+let steps = 4
+
+let nparticles = function
+  | Workload.Tiny -> 200
+  | Workload.Small -> 500
+  | Workload.Medium -> 1_000
+  | Workload.Large -> 2_500
+
+let build size : modul =
+  let n = nparticles size in
+  let ncells = (n / 3) + 1 in
+  let m = Builder.create_module () in
+  Builder.global m "px" (n * 8);
+  Builder.global m "py" (n * 8);
+  Builder.global m "vx" (n * 8);
+  Builder.global m "vy" (n * 8);
+  Builder.global m "dens" (n * 8);
+  Builder.global m "cells" (ncells * cell_cap * 8);  (* particle ids, -1 empty *)
+  Builder.global m "cellof" (n * 8);
+  Builder.global m "bar1" 8;
+  Builder.global m "bar2" 8;
+  let open Builder in
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c n) in
+  let h2 = f64c 0.25 in
+  for_ b ~name:"step" ~lo:(i64c 0) ~hi:(i64c steps) (fun _ ->
+  (* density pass over this worker's particles *)
+  for_ b ~name:"i" ~lo ~hi (fun i ->
+      let xi = load b Types.f64 (gep b (Glob "px") i 8) in
+      let yi = load b Types.f64 (gep b (Glob "py") i 8) in
+      let ci = load b Types.i64 (gep b (Glob "cellof") i 8) in
+      let d = fresh b ~name:"d" Types.f64 in
+      assign b d (f64c 0.0);
+      (* own cell and the two neighbours *)
+      for_ b ~name:"nc" ~lo:(i64c 0) ~hi:(i64c 3) (fun nc ->
+          let c = add b ci (sub b nc (i64c 1)) in
+          let valid =
+            and_ b
+              (zext b Types.i64 (icmp b Isge c (i64c 0)))
+              (zext b Types.i64 (icmp b Islt c (i64c ncells)))
+          in
+          if_ b
+            (icmp b Ine valid (i64c 0))
+            ~then_:(fun () ->
+              let cbase = gep b (Glob "cells") (mul b c (i64c cell_cap)) 8 in
+              for_ b ~name:"s" ~lo:(i64c 0) ~hi:(i64c cell_cap) (fun s ->
+                  let j = load b Types.i64 (gep b cbase s 8) in
+                  if_ b
+                    (icmp b Isge j (i64c 0))
+                    ~then_:(fun () ->
+                      let xj = load b Types.f64 (gep b (Glob "px") j 8) in
+                      let yj = load b Types.f64 (gep b (Glob "py") j 8) in
+                      let dx = fsub b xi xj and dy = fsub b yi yj in
+                      let r2 = fadd b (fmul b dx dx) (fmul b dy dy) in
+                      if_ b (fcmp b Folt r2 h2)
+                        ~then_:(fun () ->
+                          let t = fsub b h2 r2 in
+                          let w = fmul b t (fmul b t t) in
+                          assign b d (fadd b (Reg d) w))
+                        ())
+                    ()))
+            ());
+      store b (Reg d) (gep b (Glob "dens") i 8));
+  (* every density must land before anyone integrates *)
+  call0 b "barrier" [ Glob "bar1"; nth ];
+  (* integrate: velocity damped by density, positions advance *)
+  for_ b ~name:"i" ~lo ~hi (fun i ->
+      let d = load b Types.f64 (gep b (Glob "dens") i 8) in
+      let damp = fdiv b (f64c 1.0) (fadd b (f64c 1.0) (fmul b (f64c 0.1) d)) in
+      let upd pg vg =
+        let p = load b Types.f64 (gep b (Glob pg) i 8) in
+        let v = load b Types.f64 (gep b (Glob vg) i 8) in
+        let v' = fmul b v damp in
+        store b v' (gep b (Glob vg) i 8);
+        store b (fadd b p (fmul b v' (f64c 0.01))) (gep b (Glob pg) i 8)
+      in
+      upd "px" "vx";
+      upd "py" "vy");
+  call0 b "barrier" [ Glob "bar2"; nth ]);
+  ret b None;
+  let b, _ = func m "emit" [] in
+  let sx = fresh b ~name:"sx" Types.f64 and sd = fresh b ~name:"sd" Types.f64 in
+  assign b sx (f64c 0.0);
+  assign b sd (f64c 0.0);
+  for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+      assign b sx (fadd b (Reg sx) (load b Types.f64 (gep b (Glob "px") i 8)));
+      assign b sd (fadd b (Reg sd) (load b Types.f64 (gep b (Glob "dens") i 8))));
+  call0 b "output_f64" [ Reg sx ];
+  call0 b "output_f64" [ Reg sd ];
+  ret b None;
+  Parallel.add_globals m;
+  let b, ps = func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  let nthreads = match ps with [ p ] -> Reg p | _ -> assert false in
+  Parallel.spawn_join b ~worker:"work" ~nthreads;
+  call0 b "emit" [];
+  ret b None;
+  Rtlib.link m
+
+let init size machine =
+  let n = nparticles size in
+  let ncells = (n / 3) + 1 in
+  let st = Data.rng 43 in
+  let cells = Array.make (ncells * cell_cap) (-1) in
+  let cellof = Array.make n 0 in
+  for i = 0 to n - 1 do
+    (* place particles into cells, at most cell_cap each *)
+    let rec place tries =
+      let c = Random.State.int st ncells in
+      let rec slot s = if s = cell_cap then None else if cells.((c * cell_cap) + s) < 0 then Some s else slot (s + 1) in
+      match slot 0 with
+      | Some s ->
+          cells.((c * cell_cap) + s) <- i;
+          cellof.(i) <- c
+      | None -> if tries < 50 then place (tries + 1) else cellof.(i) <- c
+    in
+    place 0
+  done;
+  Data.fill_f64 machine "px" n (fun i -> float_of_int cellof.(i) *. 0.5 +. Data.uniform st 0.0 0.5);
+  Data.fill_f64 machine "py" n (fun _ -> Data.uniform st 0.0 1.0);
+  Data.fill_f64 machine "vx" n (fun _ -> Data.uniform st (-1.0) 1.0);
+  Data.fill_f64 machine "vy" n (fun _ -> Data.uniform st (-1.0) 1.0);
+  Data.fill_i64 machine "cells" (ncells * cell_cap) (fun i -> Int64.of_int cells.(i));
+  Data.fill_i64 machine "cellof" n (fun i -> Int64.of_int cellof.(i))
+
+let workload =
+  Workload.make ~name:"fluid" ~fi_ok:false
+    ~description:"PARSEC fluidanimate (SPH steps with barriers on a cell grid)" ~build ~init ()

@@ -1,0 +1,91 @@
+(** Inline libm: straight-line double-precision kernels emitted directly
+    into the caller (the moral equivalent of the hardened musl libm, but
+    inlined, so both the ELZAR pass and the auto-vectorizer see pure
+    floating-point dataflow — which is exactly the regime where the paper
+    finds AVX-based hardening cheap, §V-B). *)
+
+open Ir
+open Instr
+
+let ln2 = 0.6931471805599453
+
+let f64 = Types.f64
+let i64 = Types.i64
+
+(* e^x for |x| < ~700, ~1e-7 relative accuracy: range reduction by ln 2 and
+   a 6th-order Horner polynomial, with 2^k assembled by exponent-field
+   arithmetic.  The float<->int conversions go through i32 (cvttpd2dq /
+   cvtdq2pd exist in AVX2; the i64 forms do not and would scalarize). *)
+let exp (b : Builder.t) (x : operand) : operand =
+  let open Builder in
+  let k32 = fptosi b Types.i32 (fmul b x (f64c (1.0 /. ln2))) in
+  let k = sext b i64 k32 in
+  let r = fsub b x (fmul b (sitofp b f64 k32) (f64c ln2)) in
+  (* Estrin-style evaluation: the two halves of the polynomial are
+     independent chains, keeping native ILP high *)
+  let r2 = fmul b r r in
+  let low = fadd b (f64c 1.0) (fadd b r (fmul b r2 (f64c 0.5))) in
+  let hi = fmul b (fmul b r2 r) (fadd b (f64c (1.0 /. 6.0)) (fmul b r (f64c (1.0 /. 24.0)))) in
+  let p = fadd b low hi in
+  let ebits = shl b (add b k (i64c 1023)) (i64c 52) in
+  let e2k = cast b Bitcast f64 ebits in
+  fmul b p e2k
+
+(* ln x for x > 0: exponent/mantissa split and the atanh series. *)
+let ln (b : Builder.t) (x : operand) : operand =
+  let open Builder in
+  let bits = cast b Bitcast i64 x in
+  let e = sub b (lshr b bits (i64c 52)) (i64c 1023) in
+  let mant =
+    or_ b (and_ b bits (Imm (i64, 0xFFFFFFFFFFFFFL))) (Imm (i64, 0x3FF0000000000000L))
+  in
+  let msc = cast b Bitcast f64 mant in
+  let t = fdiv b (fsub b msc (f64c 1.0)) (fadd b msc (f64c 1.0)) in
+  let t2 = fmul b t t in
+  (* 2t(1 + t^2/3 + t^4/5 + t^6/7) *)
+  let s = ref (f64c (1.0 /. 7.0)) in
+  List.iter
+    (fun c -> s := fadd b (f64c c) (fmul b t2 !s))
+    [ 1.0 /. 5.0; 1.0 /. 3.0; 1.0 ];
+  let lnm = fmul b (fmul b (f64c 2.0) t) !s in
+  fadd b lnm (fmul b (sitofp b f64 e) (f64c ln2))
+
+(* sqrt x = x * rsqrt(x): the reciprocal square root starts from the
+   classic bit-hack guess and takes multiply-only Newton steps
+   (y' = y(1.5 - 0.5 x y^2)), as vectorized code does to avoid divides. *)
+let sqrt (b : Builder.t) (x : operand) : operand =
+  let open Builder in
+  let bits = cast b Bitcast i64 x in
+  let gbits = sub b (Imm (i64, 0x5FE6EB50C7B537A9L)) (lshr b bits (i64c 1)) in
+  let y = ref (cast b Bitcast f64 gbits) in
+  let half_x = fmul b (f64c 0.5) x in
+  for _ = 1 to 4 do
+    let y2 = fmul b !y !y in
+    y := fmul b !y (fsub b (f64c 1.5) (fmul b half_x y2))
+  done;
+  fmul b x !y
+
+(* Standard normal CDF (Abramowitz & Stegun 7.1.26 flavour, as in PARSEC's
+   blackscholes), with the usual tail early-out branch: beyond six standard
+   deviations the CDF saturates and the polynomial is skipped. *)
+let cndf (b : Builder.t) (x : operand) : operand =
+  let open Builder in
+  let neg = fcmp b Folt x (f64c 0.0) in
+  let ax = select b neg (fsub b (f64c 0.0) x) x in
+  let res = fresh b ~name:"cdf" Types.f64 in
+  if_ b
+    (fcmp b Fogt ax (f64c 6.0))
+    ~then_:(fun () -> assign b res (f64c 1.0))
+    ~else_:(fun () ->
+      let k = fdiv b (f64c 1.0) (fadd b (f64c 1.0) (fmul b (f64c 0.2316419) ax)) in
+      let poly = ref (f64c 1.330274429) in
+      List.iter
+        (fun c -> poly := fadd b (f64c c) (fmul b k !poly))
+        [ -1.821255978; 1.781477937; -0.356563782; 0.319381530 ];
+      let poly = fmul b k !poly in
+      let pdf =
+        fmul b (f64c 0.3989422804014327) (exp b (fmul b (f64c (-0.5)) (fmul b ax ax)))
+      in
+      assign b res (fsub b (f64c 1.0) (fmul b pdf poly)))
+    ();
+  select b neg (fsub b (f64c 1.0) (Reg res)) (Reg res)

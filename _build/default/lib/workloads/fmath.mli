@@ -1,0 +1,19 @@
+(** Inline libm: straight-line double-precision kernels emitted into the
+    caller (hardened musl libm, inlined).  Accuracies are a few 1e-5
+    relative — enough for bit-deterministic benchmarking, not for
+    production numerics. *)
+
+val ln2 : float
+
+(** e^x for |x| < ~700 (i32-based range reduction: the i64 conversions have
+    no AVX2 encoding). *)
+val exp : Ir.Builder.t -> Ir.Instr.operand -> Ir.Instr.operand
+
+(** Natural log for x > 0. *)
+val ln : Ir.Builder.t -> Ir.Instr.operand -> Ir.Instr.operand
+
+(** Multiply-only Newton square root. *)
+val sqrt : Ir.Builder.t -> Ir.Instr.operand -> Ir.Instr.operand
+
+(** Standard normal CDF with the saturated-tail early-out branch. *)
+val cndf : Ir.Builder.t -> Ir.Instr.operand -> Ir.Instr.operand

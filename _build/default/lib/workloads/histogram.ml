@@ -1,0 +1,63 @@
+(** Phoenix histogram: bucket counts over a byte image.
+
+    Per-thread private histograms in memory (load+increment+store per
+    pixel), merged by a hardened reduce step — the benchmark with the
+    highest memory-access fraction in Table II (53% loads, 27% stores),
+    and the paper's worst SDC case for ELZAR because of the address
+    extraction window before each of those accesses (§V-C). *)
+
+open Ir
+open Instr
+
+let npixels = function
+  | Workload.Tiny -> 3_000
+  | Workload.Small -> 20_000
+  | Workload.Medium -> 120_000
+  | Workload.Large -> 500_000
+
+let buckets = 256
+
+let build size : modul =
+  let n = npixels size in
+  let m = Builder.create_module () in
+  Builder.global m "img" n;
+  Builder.global m "hists" (Parallel.max_threads * buckets * 8);
+  (* worker: count the pixels of one slice into a private histogram *)
+  let b, ps = Builder.func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let open Builder in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c n) in
+  let mine = gep b (Glob "hists") tid (buckets * 8) in
+  for_ b ~name:"i" ~lo ~hi (fun i ->
+      let px = load b Types.i8 (gep b (Glob "img") i 1) in
+      let v = zext b Types.i64 px in
+      let slot = gep b mine v 8 in
+      let c = load b Types.i64 slot in
+      store b (add b c (i64c 1)) slot);
+  ret b None;
+  (* hardened reduce: merge per-thread histograms and emit every bucket *)
+  let b, ps = Builder.func m "reduce" [ ("nth", Types.i64) ] in
+  let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+  for_ b ~name:"k" ~lo:(i64c 0) ~hi:(i64c buckets) (fun k ->
+      let s = fresh b ~name:"s" Types.i64 in
+      assign b s (i64c 0);
+      for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+          let base = gep b (Glob "hists") t (buckets * 8) in
+          let v = load b Types.i64 (gep b base k 8) in
+          assign b s (add b (Reg s) v));
+      call0 b "output_i64" [ Reg s ]);
+  ret b None;
+  Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+      match b.Builder.func.params with
+      | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+      | _ -> assert false);
+  Rtlib.link m
+
+let init size machine =
+  let st = Data.rng 7 in
+  Data.fill_bytes machine "img" (npixels size) (fun _ -> Random.State.int st 256)
+
+let workload =
+  Workload.make ~name:"hist" ~description:"Phoenix histogram (byte image bucket counts)"
+    ~build ~init ()

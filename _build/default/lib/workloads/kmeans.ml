@@ -1,0 +1,131 @@
+(** Phoenix kmeans: iterative integer k-means.
+
+    Assignment is branchless (compare+select) over squared distances; the
+    centroid recomputation uses integer division, which has no AVX
+    counterpart and exercises ELZAR's scalarization fallback (§III-C
+    "ELZAR falls back ... integer division and modulo").  The multiply-heavy
+    inner loop is also why enabling SIMD vectorization makes the native
+    build *slower* (Fig. 1 footnote: compilers' rough cost models). *)
+
+open Ir
+open Instr
+
+(* Phoenix kmeans clusters 3-d points by default; with VF = 4 the
+   vectorized inner loop never executes, leaving only its overhead — the
+   "suboptimal instruction sequences" of the paper's Fig. 1 footnote. *)
+let dim = 3
+let nclusters = 8
+
+let params = function
+  | Workload.Tiny -> (300, 2)
+  | Workload.Small -> (1_500, 4)
+  | Workload.Medium -> (4_500, 5)
+  | Workload.Large -> (14_000, 5)
+
+let build size : modul =
+  let n, iters = params size in
+  let m = Builder.create_module () in
+  Builder.global m "pts" (n * dim * 4);
+  Builder.global m "cent" (nclusters * dim * 4);
+  Builder.global m "asgn" (n * 8);
+  Builder.global m "psum" (Parallel.max_threads * nclusters * dim * 8);
+  Builder.global m "pcnt" (Parallel.max_threads * nclusters * 8);
+  let open Builder in
+  (* worker: assign each point of the slice to its nearest centroid and
+     accumulate per-thread partial sums *)
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c n) in
+  let mysum = gep b (Glob "psum") tid (nclusters * dim * 8) in
+  let mycnt = gep b (Glob "pcnt") tid (nclusters * 8) in
+  for_ b ~name:"i" ~lo ~hi (fun i ->
+      let pbase = mul b i (i64c dim) in
+      let best = fresh b ~name:"best" Types.i64 in
+      let bestj = fresh b ~name:"bestj" Types.i64 in
+      assign b best (Imm (Types.i64, Int64.max_int));
+      assign b bestj (i64c 0);
+      for_ b ~name:"j" ~lo:(i64c 0) ~hi:(i64c nclusters) (fun j ->
+          let dist = fresh b ~name:"dist" Types.i64 in
+          assign b dist (i64c 0);
+          let cbase = mul b j (i64c dim) in
+          for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c dim) (fun c ->
+              let p = load b Types.i32 (gep b (Glob "pts") (add b pbase c) 4) in
+              let q = load b Types.i32 (gep b (Glob "cent") (add b cbase c) 4) in
+              let d = sub b p q in
+              let d2 = mul b d d in
+              assign b dist (add b (Reg dist) (zext b Types.i64 d2)));
+          let better = icmp b Islt (Reg dist) (Reg best) in
+          assign b best (select b better (Reg dist) (Reg best));
+          assign b bestj (select b better j (Reg bestj)));
+      store b (Reg bestj) (gep b (Glob "asgn") i 8);
+      let sbase = mul b (Reg bestj) (i64c dim) in
+      for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c dim) (fun c ->
+          let slot = gep b mysum (add b sbase c) 8 in
+          let p = load b Types.i32 (gep b (Glob "pts") (add b pbase c) 4) in
+          let v = load b Types.i64 slot in
+          store b (add b v (zext b Types.i64 p)) slot);
+      let cslot = gep b mycnt (Reg bestj) 8 in
+      let cv = load b Types.i64 cslot in
+      store b (add b cv (i64c 1)) cslot);
+  ret b None;
+  (* hardened recompute: merge partials and divide (integer division!) *)
+  let b, ps = func m "recompute" [ ("nth", Types.i64) ] in
+  let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+  for_ b ~name:"j" ~lo:(i64c 0) ~hi:(i64c nclusters) (fun j ->
+      let cnt = fresh b ~name:"cnt" Types.i64 in
+      assign b cnt (i64c 0);
+      for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+          let base = gep b (Glob "pcnt") t (nclusters * 8) in
+          let v = load b Types.i64 (gep b base j 8) in
+          assign b cnt (add b (Reg cnt) v));
+      let denom = select b (icmp b Ieq (Reg cnt) (i64c 0)) (i64c 1) (Reg cnt) in
+      for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c dim) (fun c ->
+          let s = fresh b ~name:"s" Types.i64 in
+          assign b s (i64c 0);
+          let off = add b (mul b j (i64c dim)) c in
+          for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+              let base = gep b (Glob "psum") t (nclusters * dim * 8) in
+              let v = load b Types.i64 (gep b base off 8) in
+              assign b s (add b (Reg s) v));
+          let mean = sdiv b (Reg s) denom in
+          store b (trunc b Types.i32 mean) (gep b (Glob "cent") off 4)));
+  ret b None;
+  (* hardened zeroing of the partials between iterations *)
+  let b, _ = func m "clear_partials" [] in
+  call0 b "bzero" [ Glob "psum"; i64c (Parallel.max_threads * nclusters * dim * 8) ];
+  call0 b "bzero" [ Glob "pcnt"; i64c (Parallel.max_threads * nclusters * 8) ];
+  ret b None;
+  (* hardened output of the final centroids *)
+  let b, _ = func m "emit" [] in
+  for_ b ~name:"o" ~lo:(i64c 0) ~hi:(i64c (nclusters * dim)) (fun o ->
+      let v = load b Types.i32 (gep b (Glob "cent") o 4) in
+      call0 b "output_i64" [ zext b Types.i64 v ]);
+  ret b None;
+  (* unhardened driver: iterate assign / recompute *)
+  Parallel.add_globals m;
+  let b, ps = func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  let nthreads = match ps with [ p ] -> Reg p | _ -> assert false in
+  for_ b ~name:"iter" ~lo:(i64c 0) ~hi:(i64c iters) (fun _ ->
+      call0 b "clear_partials" [];
+      Parallel.spawn_join b ~worker:"work" ~nthreads;
+      call0 b "recompute" [ nthreads ]);
+  call0 b "emit" [];
+  ret b None;
+  Rtlib.link m
+
+let init size machine =
+  let n, _ = params size in
+  let st = Data.rng 11 in
+  Data.fill_i32 machine "pts" (n * dim) (fun _ -> Random.State.int st 1000);
+  (* initial centroids: the first k points *)
+  let base = Data.addr_of machine "pts" in
+  let cbase = Data.addr_of machine "cent" in
+  for i = 0 to (nclusters * dim) - 1 do
+    let v = Cpu.Memory.read machine.Cpu.Machine.mem ~width:4 (Int64.add base (Int64.of_int (i * 4))) in
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:4 (Int64.add cbase (Int64.of_int (i * 4))) v
+  done
+
+let workload =
+  Workload.make ~name:"km" ~description:"Phoenix kmeans (integer k-means clustering)" ~build
+    ~init ()

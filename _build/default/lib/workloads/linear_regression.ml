@@ -1,0 +1,80 @@
+(** Phoenix linear regression: one streaming pass accumulating the five
+    moment sums over an array of (x, y) structs.
+
+    The highest-ILP benchmark of Table II (independent accumulator chains);
+    the array-of-structs layout (stride 16) keeps the auto-vectorizer out,
+    as the real benchmark's memory-bandwidth ceiling does. *)
+
+open Ir
+open Instr
+
+let npoints = function
+  | Workload.Tiny -> 2_000
+  | Workload.Small -> 20_000
+  | Workload.Medium -> 100_000
+  | Workload.Large -> 400_000
+
+let build size : modul =
+  let n = npoints size in
+  let m = Builder.create_module () in
+  Builder.global m "pts" (n * 16);
+  Builder.global m "parts" (Parallel.max_threads * 5 * 8);
+  let open Builder in
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c n) in
+  let sx = fresh b ~name:"sx" Types.i64
+  and sy = fresh b ~name:"sy" Types.i64
+  and sxx = fresh b ~name:"sxx" Types.i64
+  and syy = fresh b ~name:"syy" Types.i64
+  and sxy = fresh b ~name:"sxy" Types.i64 in
+  List.iter (fun r -> assign b r (i64c 0)) [ sx; sy; sxx; syy; sxy ];
+  for_ b ~name:"i" ~lo ~hi (fun i ->
+      let px = gep b (Glob "pts") i 16 in
+      let x = load b Types.i64 px in
+      let y = load b Types.i64 (gep b px (i64c 1) 8) in
+      assign b sx (add b (Reg sx) x);
+      assign b sy (add b (Reg sy) y);
+      assign b sxx (add b (Reg sxx) (mul b x x));
+      assign b syy (add b (Reg syy) (mul b y y));
+      assign b sxy (add b (Reg sxy) (mul b x y)));
+  let base = gep b (Glob "parts") tid 40 in
+  List.iteri
+    (fun k r -> store b (Reg r) (gep b base (i64c k) 8))
+    [ sx; sy; sxx; syy; sxy ];
+  ret b None;
+  (* hardened reduce: merge partials, output the sums and the fitted line *)
+  let b, ps = func m "reduce" [ ("nth", Types.i64) ] in
+  let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tot = Array.init 5 (fun _ -> fresh b ~name:"tot" Types.i64) in
+  Array.iter (fun r -> assign b r (i64c 0)) tot;
+  for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+      let base = gep b (Glob "parts") t 40 in
+      Array.iteri
+        (fun k r ->
+          let v = load b Types.i64 (gep b base (i64c k) 8) in
+          assign b r (add b (Reg r) v))
+        tot);
+  Array.iter (fun r -> call0 b "output_i64" [ Reg r ]) tot;
+  (* slope = (n*sxy - sx*sy) / (n*sxx - sx^2) in floating point *)
+  let f k = sitofp b Types.f64 (Reg tot.(k)) in
+  let nf = f64c (float_of_int n) in
+  let num = fsub b (fmul b nf (f 4)) (fmul b (f 0) (f 1)) in
+  let den = fsub b (fmul b nf (f 2)) (fmul b (f 0) (f 0)) in
+  call0 b "output_f64" [ fdiv b num den ];
+  ret b None;
+  Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+      match b.Builder.func.params with
+      | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+      | _ -> assert false);
+  Rtlib.link m
+
+let init size machine =
+  let st = Data.rng 13 in
+  Data.fill_i64 machine "pts" (npoints size * 2) (fun _ ->
+      Int64.of_int (Random.State.int st 500))
+
+let workload =
+  Workload.make ~name:"linreg" ~description:"Phoenix linear regression (moment sums)" ~build
+    ~init ()

@@ -1,0 +1,3 @@
+(** matrix_multiply benchmark kernel (see the .ml for the modelling notes). *)
+
+val workload : Workload.t

@@ -1,0 +1,200 @@
+(** Microbenchmarks of Table IV (§VII-A): each saturates the CPU with one
+    instruction class so that the cost of ELZAR's AVX wrappers
+    (extract/broadcast around loads and stores, ptest around branches,
+    scalarization of truncations) is measured in isolation.  The paper runs
+    them with checks disabled; the bench harness does the same.
+
+    Two variants per class: [avg] interleaves the probed instructions with
+    ALU work (the paper's average case), [worst] issues them back to
+    back. *)
+
+open Ir
+open Instr
+
+type mix = Avg | Worst
+
+let iters = function
+  | Workload.Tiny -> 2_000
+  | Workload.Small -> 10_000
+  | Workload.Medium -> 30_000
+  | Workload.Large -> 100_000
+
+let buf_slots = 64
+
+(* The worker body receives its private buffer base and returns an
+   accumulator operand; per-thread results are emitted in tid order by a
+   hardened reduce (worker output order is scheduling-dependent). *)
+let with_worker ~name ~description body =
+  let build size : modul =
+    let m = Builder.create_module () in
+    Builder.global m "buf" (Parallel.max_threads * buf_slots * 8);
+    Builder.global m "pout" (Parallel.max_threads * 8);
+    let open Builder in
+    let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+    let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+    let tid, nth = Parallel.worker_ids b arg in
+    ignore nth;
+    let mybuf = gep b (Glob "buf") tid (buf_slots * 8) in
+    let acc = body b mybuf (iters size) in
+    store b acc (gep b (Glob "pout") tid 8);
+    ret b None;
+    let b, ps = func m "reduce" [ ("nth", Types.i64) ] in
+    let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+    for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+        call0 b "output_i64" [ load b Types.i64 (gep b (Glob "pout") t 8) ]);
+    ret b None;
+    Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+        match b.Builder.func.params with
+        | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+        | _ -> assert false);
+    Rtlib.link m
+  in
+  Workload.make ~name ~description ~build
+    ~init:(fun _ machine ->
+      Data.fill_i64 machine "buf" (Parallel.max_threads * buf_slots) (fun i ->
+          Int64.of_int (i * 3)))
+    ~fi_ok:false ()
+
+let pad (b : Builder.t) mix (x : operand) =
+  match mix with
+  | Worst -> x
+  | Avg ->
+      (* two dependent ALU ops between probed instructions *)
+      let open Builder in
+      let t = add b x (i64c 1) in
+      xor b t (i64c 5)
+
+(* 8 independent loads per iteration, accumulated. *)
+let loads_micro mix name =
+  with_worker ~name ~description:"Table IV load microbenchmark" (fun b mybuf n ->
+      let open Builder in
+      let acc = fresh b ~name:"acc" Types.i64 in
+      assign b acc (i64c 0);
+      for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+          let base = and_ b i (i64c 31) in
+          for k = 0 to 7 do
+            let v = load b Types.i64 (gep b mybuf (add b base (i64c (k land 3))) 8) in
+            assign b acc (add b (Reg acc) (pad b mix v))
+          done);
+      Reg acc)
+
+(* 8 independent stores per iteration. *)
+let stores_micro mix name =
+  with_worker ~name ~description:"Table IV store microbenchmark" (fun b mybuf n ->
+      let open Builder in
+      for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+          let base = and_ b i (i64c 31) in
+          for k = 0 to 7 do
+            let v = pad b mix i in
+            store b v (gep b mybuf (add b base (i64c k)) 8)
+          done);
+      load b Types.i64 mybuf)
+
+(* 8 data-dependent (but predictable) branches per iteration. *)
+let branches_micro mix name =
+  with_worker ~name ~description:"Table IV branch microbenchmark" (fun b _ n ->
+      let open Builder in
+      let acc = fresh b ~name:"acc" Types.i64 in
+      assign b acc (i64c 0);
+      for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+          for k = 0 to 7 do
+            let c = icmp b Isgt (pad b mix i) (i64c (k * 3)) in
+            if_ b c
+              ~then_:(fun () -> assign b acc (add b (Reg acc) (i64c 1)))
+              ~else_:(fun () -> assign b acc (add b (Reg acc) (i64c 2)))
+              ()
+          done);
+      Reg acc)
+
+(* 8 truncations per iteration: i64 -> i32 narrowing has no AVX encoding
+   and scalarizes (8x overhead in the paper's measurement). *)
+let trunc_micro mix name =
+  with_worker ~name ~description:"§VII-A truncation microbenchmark" (fun b _ n ->
+      let open Builder in
+      let acc = fresh b ~name:"acc" Types.i64 in
+      assign b acc (i64c 0);
+      for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+          for k = 0 to 7 do
+            let t = trunc b Types.i32 (pad b mix (add b i (i64c k))) in
+            assign b acc (add b (Reg acc) (zext b Types.i64 t))
+          done);
+      Reg acc)
+
+(* 8 integer divisions per iteration: like truncation, division has no AVX
+   encoding and scalarizes (§VII-A "Missing instructions"). *)
+let div_micro mix name =
+  with_worker ~name ~description:"§VII-A integer-division microbenchmark" (fun b _ n ->
+      let open Builder in
+      let acc = fresh b ~name:"acc" Types.i64 in
+      assign b acc (i64c 1);
+      for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+          for k = 0 to 7 do
+            let denom = or_ b (pad b mix i) (i64c (k + 1)) in
+            assign b acc (add b (Reg acc) (sdiv b (add b i (i64c (1000 + k))) denom))
+          done);
+      Reg acc)
+
+(* 4 calls per iteration to a tiny hardened callee: ELZAR checks and
+   extracts every argument and re-broadcasts the result (§III-C). *)
+let call_micro mix name =
+  let build size : modul =
+    let m = Builder.create_module () in
+    Builder.global m "buf" (Parallel.max_threads * buf_slots * 8);
+    Builder.global m "pout" (Parallel.max_threads * 8);
+    let open Builder in
+    let b, ps = func m "callee" ~ret:Types.i64 [ ("x", Types.i64); ("y", Types.i64) ] in
+    let x, y = match ps with [ x; y ] -> (Reg x, Reg y) | _ -> assert false in
+    ret b (Some (xor b (add b x y) (i64c 13)));
+    let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+    let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+    let tid, _ = Parallel.worker_ids b arg in
+    let acc = fresh b ~name:"acc" Types.i64 in
+    assign b acc (i64c 0);
+    for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c (iters size / 2)) (fun i ->
+        for k = 0 to 3 do
+          let v = callv b ~ret:Types.i64 "callee" [ pad b mix i; i64c k ] in
+          assign b acc (add b (Reg acc) v)
+        done);
+    store b (Reg acc) (gep b (Glob "pout") tid 8);
+    ret b None;
+    let b, ps = func m "reduce" [ ("nth", Types.i64) ] in
+    let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+    for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+        call0 b "output_i64" [ load b Types.i64 (gep b (Glob "pout") t 8) ]);
+    ret b None;
+    Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+        match b.Builder.func.params with
+        | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+        | _ -> assert false);
+    Rtlib.link m
+  in
+  Workload.make ~name ~description:"§III-C call-wrapper microbenchmark" ~build ~fi_ok:false ()
+
+let loads_avg = loads_micro Avg "micro-loads-avg"
+let loads_worst = loads_micro Worst "micro-loads-worst"
+let stores_avg = stores_micro Avg "micro-stores-avg"
+let stores_worst = stores_micro Worst "micro-stores-worst"
+let branches_avg = branches_micro Avg "micro-branches-avg"
+let branches_worst = branches_micro Worst "micro-branches-worst"
+let trunc_avg = trunc_micro Avg "micro-trunc-avg"
+let trunc_worst = trunc_micro Worst "micro-trunc-worst"
+let div_avg = div_micro Avg "micro-div-avg"
+let div_worst = div_micro Worst "micro-div-worst"
+let calls_avg = call_micro Avg "micro-calls-avg"
+let calls_worst = call_micro Worst "micro-calls-worst"
+
+let all =
+  [
+    loads_avg;
+    loads_worst;
+    stores_avg;
+    stores_worst;
+    branches_avg;
+    branches_worst;
+    trunc_avg;
+    trunc_worst;
+    div_avg;
+    div_worst;
+    calls_avg;
+    calls_worst;
+  ]

@@ -1,0 +1,17 @@
+(** Microbenchmarks of Table IV (§VII-A): saturate one instruction class to
+    measure ELZAR's wrapper costs in isolation.  [avg] interleaves ALU work
+    between probed instructions; [worst] issues them back to back. *)
+
+val loads_avg : Workload.t
+val loads_worst : Workload.t
+val stores_avg : Workload.t
+val stores_worst : Workload.t
+val branches_avg : Workload.t
+val branches_worst : Workload.t
+val trunc_avg : Workload.t
+val trunc_worst : Workload.t
+val div_avg : Workload.t
+val div_worst : Workload.t
+val calls_avg : Workload.t
+val calls_worst : Workload.t
+val all : Workload.t list

@@ -1,0 +1,56 @@
+(** Builder combinators for the fork-join structure every benchmark shares:
+    an unhardened driver spawns [nthreads] workers over a hardened kernel
+    function, passes each a small argument block, and joins them. *)
+
+open Ir
+open Instr
+
+let max_threads = 16
+
+(* Per-worker argument blocks (tid, nthreads) and the spawn handles. *)
+let add_globals (m : modul) =
+  Builder.global m "z.targs" (max_threads * 16);
+  Builder.global m "z.tids" (max_threads * 8)
+
+(* Emits the spawn/join loops into the current block of [b] (the unhardened
+   driver).  [worker] must have signature (ptr) -> void. *)
+let spawn_join (b : Builder.t) ~(worker : string) ~(nthreads : operand) =
+  let open Builder in
+  for_ b ~name:"t" ~lo:(i64c 0) ~hi:nthreads (fun t ->
+      let slot = gep b (Glob "z.targs") t 16 in
+      store b t slot;
+      store b nthreads (gep b slot (i64c 1) 8);
+      let tid = callv b ~ret:Types.i64 "spawn" [ Fref worker; slot ] in
+      store b tid (gep b (Glob "z.tids") t 8));
+  for_ b ~name:"t" ~lo:(i64c 0) ~hi:nthreads (fun t ->
+      let tid = load b Types.i64 (gep b (Glob "z.tids") t 8) in
+      call0 b "join" [ tid ])
+
+(* Reads (tid, nthreads) back inside a worker whose single parameter is the
+   argument block pointer. *)
+let worker_ids (b : Builder.t) (arg : operand) : operand * operand =
+  let open Builder in
+  let tid = load b Types.i64 arg in
+  let n = load b Types.i64 (gep b arg (i64c 1) 8) in
+  (tid, n)
+
+(* [lo, hi) slice of [total] items owned by worker [tid] of [n]. *)
+let chunk (b : Builder.t) ~(tid : operand) ~(nthreads : operand) ~(total : operand) :
+    operand * operand =
+  let open Builder in
+  let per = sdiv b total nthreads in
+  let lo = mul b tid per in
+  let next = add b tid (i64c 1) in
+  let is_last = icmp b Ieq next nthreads in
+  let hi = select b is_last total (mul b next per) in
+  (lo, hi)
+
+(* The standard driver: main(nthreads) spawns [worker], joins, then runs
+   [finish] (e.g. merging per-thread partials and emitting output). *)
+let standard_main (m : modul) ~(worker : string) ~(finish : Builder.t -> unit) =
+  add_globals m;
+  let b, params = Builder.func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  let nthreads = match params with [ p ] -> Reg p | _ -> assert false in
+  spawn_join b ~worker ~nthreads;
+  finish b;
+  Builder.ret b None

@@ -1,0 +1,28 @@
+(** Builder combinators for the fork-join structure every benchmark
+    shares: an unhardened driver spawns workers over a hardened kernel and
+    joins them. *)
+
+val max_threads : int
+
+(** Adds the per-worker argument blocks and spawn-handle globals. *)
+val add_globals : Ir.Instr.modul -> unit
+
+(** Emits the spawn/join loops into the current block; [worker] must have
+    signature (ptr) -> void. *)
+val spawn_join : Ir.Builder.t -> worker:string -> nthreads:Ir.Instr.operand -> unit
+
+(** Reads (tid, nthreads) back inside a worker from its argument block. *)
+val worker_ids : Ir.Builder.t -> Ir.Instr.operand -> Ir.Instr.operand * Ir.Instr.operand
+
+(** [lo, hi) slice of [total] items owned by worker [tid] of [nthreads]. *)
+val chunk :
+  Ir.Builder.t ->
+  tid:Ir.Instr.operand ->
+  nthreads:Ir.Instr.operand ->
+  total:Ir.Instr.operand ->
+  Ir.Instr.operand * Ir.Instr.operand
+
+(** The standard driver: main(nthreads) spawns [worker], joins, runs
+    [finish]. *)
+val standard_main :
+  Ir.Instr.modul -> worker:string -> finish:(Ir.Builder.t -> unit) -> unit

@@ -1,0 +1,80 @@
+(** Phoenix PCA: row means and the covariance matrix, row pairs split
+    across threads.  Covariance accumulates in double precision (a strict
+    IEEE FP reduction, which keeps the auto-vectorizer out, as observed for
+    the real benchmark in Fig. 1). *)
+
+open Ir
+open Instr
+
+let params = function
+  | Workload.Tiny -> (8, 96)
+  | Workload.Small -> (16, 288)
+  | Workload.Medium -> (24, 512)
+  | Workload.Large -> (40, 1024)
+
+let build size : modul =
+  let rows, cols = params size in
+  let m = Builder.create_module () in
+  Builder.global m "mat" (rows * cols * 4);
+  Builder.global m "mean" (rows * 8);
+  Builder.global m "cov" (rows * rows * 8);
+  let open Builder in
+  (* hardened: per-row means (cheap, done by thread 0's slice = all rows) *)
+  let b, _ = func m "means" [] in
+  for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c rows) (fun i ->
+      let s = fresh b ~name:"s" Types.i64 in
+      assign b s (i64c 0);
+      let base = mul b i (i64c cols) in
+      for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c cols) (fun c ->
+          let v = load b Types.i32 (gep b (Glob "mat") (add b base c) 4) in
+          assign b s (add b (Reg s) (zext b Types.i64 v)));
+      store b (sdiv b (Reg s) (i64c cols)) (gep b (Glob "mean") i 8));
+  ret b None;
+  (* worker: covariance rows [lo, hi) x [i, rows) *)
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c rows) in
+  for_ b ~name:"i" ~lo ~hi (fun i ->
+      let mi = sitofp b Types.f64 (load b Types.i64 (gep b (Glob "mean") i 8)) in
+      for_ b ~name:"j" ~lo:i ~hi:(i64c rows) (fun j ->
+          let mj = sitofp b Types.f64 (load b Types.i64 (gep b (Glob "mean") j 8)) in
+          let acc = fresh b ~name:"acc" Types.f64 in
+          assign b acc (f64c 0.0);
+          let bi = mul b i (i64c cols) and bj = mul b j (i64c cols) in
+          for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c cols) (fun c ->
+              let a = load b Types.i32 (gep b (Glob "mat") (add b bi c) 4) in
+              let v = load b Types.i32 (gep b (Glob "mat") (add b bj c) 4) in
+              let da = fsub b (sitofp b Types.f64 a) mi in
+              let dv = fsub b (sitofp b Types.f64 v) mj in
+              assign b acc (fadd b (Reg acc) (fmul b da dv)));
+          let cov = fdiv b (Reg acc) (f64c (float_of_int (cols - 1))) in
+          store b cov (gep b (Glob "cov") (add b (mul b i (i64c rows)) j) 8)));
+  ret b None;
+  (* hardened: checksum per row of the covariance matrix *)
+  let b, _ = func m "emit" [] in
+  for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c rows) (fun i ->
+      let s = fresh b ~name:"s" Types.f64 in
+      assign b s (f64c 0.0);
+      for_ b ~name:"j" ~lo:i ~hi:(i64c rows) (fun j ->
+          let v = load b Types.f64 (gep b (Glob "cov") (add b (mul b i (i64c rows)) j) 8) in
+          assign b s (fadd b (Reg s) v));
+      call0 b "output_f64" [ Reg s ]);
+  ret b None;
+  Parallel.add_globals m;
+  let b, ps = func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  let nthreads = match ps with [ p ] -> Reg p | _ -> assert false in
+  call0 b "means" [];
+  Parallel.spawn_join b ~worker:"work" ~nthreads;
+  call0 b "emit" [];
+  ret b None;
+  Rtlib.link m
+
+let init size machine =
+  let rows, cols = params size in
+  let st = Data.rng 19 in
+  Data.fill_i32 machine "mat" (rows * cols) (fun _ -> Random.State.int st 256)
+
+let workload =
+  Workload.make ~name:"pca" ~description:"Phoenix PCA (row means + covariance matrix)" ~build
+    ~init ()

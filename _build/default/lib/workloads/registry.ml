@@ -1,0 +1,41 @@
+(** The benchmark registry, in the paper's row order. *)
+
+let phoenix =
+  [
+    Histogram.workload;
+    Kmeans.workload;
+    Linear_regression.workload;
+    Matrix_multiply.workload;
+    Pca.workload;
+    String_match.workload;
+    Word_count.workload;
+  ]
+
+let parsec =
+  [
+    Blackscholes.workload;
+    Dedup.workload;
+    Ferret.workload;
+    Fluidanimate.workload;
+    Streamcluster.workload;
+    Swaptions.workload;
+    X264.workload;
+  ]
+
+let all = phoenix @ parsec
+
+(* PARSEC benchmarks the paper had to skip (inline assembly, C++
+   exceptions, §V-A); our IR reimplementation covers them as an extension
+   beyond the paper's evaluation. *)
+let extended = [ Canneal.workload; Bodytrack.workload ]
+
+let micro = Micro.all
+
+(* The benchmarks with enough floating-point work for the floats-only mode
+   experiment (§V-B). *)
+let float_heavy = [ Blackscholes.workload; Fluidanimate.workload; Swaptions.workload ]
+
+let find name =
+  match List.find_opt (fun w -> w.Workload.name = name) (all @ extended @ micro) with
+  | Some w -> w
+  | None -> invalid_arg ("Registry.find: unknown workload " ^ name)

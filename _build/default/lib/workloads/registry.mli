@@ -1,0 +1,18 @@
+(** The benchmark registry, in the paper's row order. *)
+
+val phoenix : Workload.t list
+val parsec : Workload.t list
+val all : Workload.t list
+
+(** PARSEC benchmarks the paper skipped (inline asm / C++ exceptions);
+    covered here as an extension beyond the paper. *)
+val extended : Workload.t list
+
+val micro : Workload.t list
+
+(** Benchmarks with enough floating-point work for the floats-only mode
+    experiment (§V-B). *)
+val float_heavy : Workload.t list
+
+(** @raise Invalid_argument on unknown names. *)
+val find : string -> Workload.t

@@ -1,0 +1,89 @@
+(** IR implementations of the libc memory routines.
+
+    The paper hardens musl alongside the application (§IV-A: string match's
+    32x instruction blow-up comes from hardened [bzero]); linking these
+    IR functions into every workload reproduces that coupling.  The
+    word-sized loops also give the auto-vectorizer the same opportunity
+    LLVM has on real memset/memcpy code. *)
+
+open Ir
+open Instr
+
+(* memcpy(dst, src, n): 8-byte chunks plus a byte tail. *)
+let add_memcpy m =
+  let b, ps = Builder.func m "memcpy" [ ("dst", Types.ptr); ("src", Types.ptr); ("n", Types.i64) ] in
+  let dst, src, n =
+    match ps with [ d; s; n ] -> (Reg d, Reg s, Reg n) | _ -> assert false
+  in
+  let open Builder in
+  let words = lshr b n (i64c 3) in
+  for_ b ~name:"w" ~lo:(i64c 0) ~hi:words (fun i ->
+      let v = load b Types.i64 (gep b src i 8) in
+      store b v (gep b dst i 8));
+  let tail = shl b words (i64c 3) in
+  for_ b ~name:"t" ~lo:tail ~hi:n (fun i ->
+      let v = load b Types.i8 (gep b src i 1) in
+      store b v (gep b dst i 1));
+  ret b None
+
+(* memset(dst, c, n) with c interpreted as a byte. *)
+let add_memset m =
+  let b, ps = Builder.func m "memset" [ ("dst", Types.ptr); ("c", Types.i64); ("n", Types.i64) ] in
+  let dst, c, n = match ps with [ d; c; n ] -> (Reg d, Reg c, Reg n) | _ -> assert false in
+  let open Builder in
+  let byte = and_ b c (i64c 0xFF) in
+  let word = mul b byte (Imm (Types.i64, 0x0101010101010101L)) in
+  let words = lshr b n (i64c 3) in
+  for_ b ~name:"w" ~lo:(i64c 0) ~hi:words (fun i -> store b word (gep b dst i 8));
+  let tail = shl b words (i64c 3) in
+  for_ b ~name:"t" ~lo:tail ~hi:n (fun i -> store b byte (gep b dst i 1));
+  ret b None
+
+(* bzero(dst, n): the routine string match lives in. *)
+let add_bzero m =
+  let b, ps = Builder.func m "bzero" [ ("dst", Types.ptr); ("n", Types.i64) ] in
+  let dst, n = match ps with [ d; n ] -> (Reg d, Reg n) | _ -> assert false in
+  let open Builder in
+  let words = lshr b n (i64c 3) in
+  for_ b ~name:"w" ~lo:(i64c 0) ~hi:words (fun i -> store b (i64c 0) (gep b dst i 8));
+  let tail = shl b words (i64c 3) in
+  for_ b ~name:"t" ~lo:tail ~hi:n (fun i -> store b (i8c 0) (gep b dst i 1));
+  ret b None
+
+(* memcmp(a, b, n) -> 0 iff equal (byte loop with early exit). *)
+let add_memcmp m =
+  let b, ps =
+    Builder.func m "memcmp" ~ret:Types.i64
+      [ ("a", Types.ptr); ("bb", Types.ptr); ("n", Types.i64) ]
+  in
+  let pa, pb, n = match ps with [ a; bb; n ] -> (Reg a, Reg bb, Reg n) | _ -> assert false in
+  let open Builder in
+  let i = fresh b ~name:"i" Types.i64 in
+  let diff = fresh b ~name:"diff" Types.i64 in
+  assign b i (i64c 0);
+  assign b diff (i64c 0);
+  while_ b
+    ~cond:(fun () ->
+      let inb = icmp b Islt (Reg i) n in
+      let same = icmp b Ieq (Reg diff) (i64c 0) in
+      and_ b inb same)
+    ~body:(fun () ->
+      let ca = load b Types.i8 (gep b pa (Reg i) 1) in
+      let cb = load b Types.i8 (gep b pb (Reg i) 1) in
+      let xa = zext b Types.i64 ca in
+      let xb = zext b Types.i64 cb in
+      assign b diff (sub b xa xb);
+      assign b i (add b (Reg i) (i64c 1)));
+  ret b (Some (Reg diff))
+
+(* Builds the runtime-library module to be linked into every workload. *)
+let modul () : modul =
+  let m = Builder.create_module () in
+  add_memcpy m;
+  add_memset m;
+  add_bzero m;
+  add_memcmp m;
+  m
+
+(* Links a workload module against a fresh copy of the runtime library. *)
+let link (m : modul) : modul = Linker.link [ m; modul () ]

@@ -1,0 +1,8 @@
+(** IR implementations of the libc memory routines, hardened together with
+    the application like the paper's musl (string match's blow-up lives in
+    [bzero]). *)
+
+val modul : unit -> Ir.Instr.modul
+
+(** Links a workload module against a fresh copy of the runtime library. *)
+val link : Ir.Instr.modul -> Ir.Instr.modul

@@ -1,0 +1,85 @@
+(** PARSEC streamcluster: online k-median-style clustering — persistent
+    worker threads separated by barriers (as the real benchmark is); each
+    round opens one new center and every point re-evaluates its assignment
+    cost against all open centers (load-dominated, low ILP, Table II). *)
+
+open Ir
+open Instr
+
+let dim = 16
+let rounds = 5
+
+let npoints = function
+  | Workload.Tiny -> 100
+  | Workload.Small -> 500
+  | Workload.Medium -> 1_500
+  | Workload.Large -> 5_000
+
+let build size : modul =
+  let n = npoints size in
+  let m = Builder.create_module () in
+  Builder.global m "pts" (n * dim * 8);
+  Builder.global m "cost" (n * 8);
+  Builder.global m "pcost" (Parallel.max_threads * 8);
+  Builder.global m "ncenters" 8;
+  Builder.global m "bar1" 8;
+  Builder.global m "bar2" 8;
+  let open Builder in
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c n) in
+  for_ b ~name:"round" ~lo:(i64c 0) ~hi:(i64c rounds) (fun _ ->
+      let nc = load b Types.i64 (Glob "ncenters") in
+      let total = fresh b ~name:"total" Types.f64 in
+      assign b total (f64c 0.0);
+      for_ b ~name:"i" ~lo ~hi (fun i ->
+          let pbase = gep b (Glob "pts") (mul b i (i64c dim)) 8 in
+          let best = fresh b ~name:"best" Types.f64 in
+          assign b best (Fimm (Types.f64, infinity));
+          (* centers are the first nc points *)
+          for_ b ~name:"k" ~lo:(i64c 0) ~hi:nc (fun k ->
+              let cbase = gep b (Glob "pts") (mul b k (i64c dim)) 8 in
+              let d = fresh b ~name:"d" Types.f64 in
+              assign b d (f64c 0.0);
+              for_ b ~name:"c" ~lo:(i64c 0) ~hi:(i64c dim) (fun c ->
+                  let x = load b Types.f64 (gep b pbase c 8) in
+                  let y = load b Types.f64 (gep b cbase c 8) in
+                  let t = fsub b x y in
+                  assign b d (fadd b (Reg d) (fmul b t t)));
+              let closer = fcmp b Folt (Reg d) (Reg best) in
+              assign b best (select b closer (Reg d) (Reg best)));
+          store b (Reg best) (gep b (Glob "cost") i 8);
+          assign b total (fadd b (Reg total) (Reg best)));
+      store b (Reg total) (gep b (Glob "pcost") tid 8);
+      call0 b "barrier" [ Glob "bar1"; nth ];
+      (* thread 0 aggregates, reports and opens the next center *)
+      if_ b
+        (icmp b Ieq tid (i64c 0))
+        ~then_:(fun () ->
+          let tot = fresh b ~name:"tot" Types.f64 in
+          assign b tot (f64c 0.0);
+          for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+              assign b tot (fadd b (Reg tot) (load b Types.f64 (gep b (Glob "pcost") t 8))));
+          call0 b "output_f64" [ Reg tot ];
+          store b (add b (load b Types.i64 (Glob "ncenters")) (i64c 1)) (Glob "ncenters"))
+        ();
+      call0 b "barrier" [ Glob "bar2"; nth ]);
+  ret b None;
+  Parallel.add_globals m;
+  let b, ps = func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  let nthreads = match ps with [ p ] -> Reg p | _ -> assert false in
+  store b (i64c 1) (Glob "ncenters");
+  Parallel.spawn_join b ~worker:"work" ~nthreads;
+  ret b None;
+  Rtlib.link m
+
+let init size machine =
+  let n = npoints size in
+  let st = Data.rng 47 in
+  Data.fill_f64 machine "pts" (n * dim) (fun _ -> Data.uniform st 0.0 10.0)
+
+let workload =
+  Workload.make ~name:"scluster"
+    ~description:"PARSEC streamcluster (k-median rounds, persistent threads + barriers)" ~build
+    ~init ()

@@ -1,0 +1,113 @@
+(** PARSEC swaptions: HJM Monte-Carlo pricing — an integer LCG drives
+    Irwin-Hall gaussians, a full forward-rate curve of [tenors] points
+    evolves per time step (the factor-array loads/stores that give the
+    benchmark its memory mix), and discounted payoffs accumulate per
+    swaption. *)
+
+open Ir
+open Instr
+
+let horizon = 8  (* time steps per path *)
+let tenors = 8  (* forward-curve points evolved per step *)
+
+let params = function
+  | Workload.Tiny -> (4, 15)
+  | Workload.Small -> (8, 40)
+  | Workload.Medium -> (16, 80)
+  | Workload.Large -> (32, 250)
+
+let build size : modul =
+  let nsw, paths = params size in
+  let m = Builder.create_module () in
+  Builder.global m "strike" (nsw * 8);
+  Builder.global m "vol" (nsw * 8);
+  Builder.global m "r0" (nsw * 8);
+  Builder.global m "price" (nsw * 8);
+  (* per-(step, tenor) forward-rate factors (the HJM factor arrays of the
+     real benchmark) and per-thread forward curves *)
+  Builder.global m "factors" (horizon * tenors * 8);
+  Builder.global m "drift" (horizon * tenors * 8);
+  Builder.global m "rates" (Parallel.max_threads * tenors * 8);
+  let open Builder in
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c nsw) in
+  let lcg = fresh b ~name:"lcg" Types.i32 in
+  (* gaussian by Irwin-Hall over 4 uniforms drawn from the classic 32-bit
+     libc LCG (32-bit multiplies do have an AVX2 encoding) *)
+  let gauss () =
+    let s = fresh b ~name:"g" Types.f64 in
+    assign b s (f64c (-2.0));
+    for _ = 1 to 4 do
+      assign b lcg
+        (add b (mul b (Reg lcg) (i32c 1103515245)) (i32c 12345));
+      let u = lshr b (zext b Types.i64 (Reg lcg)) (i64c 1) in
+      let uf = fmul b (sitofp b Types.f64 u) (f64c (1.0 /. 2147483648.0)) in
+      assign b s (fadd b (Reg s) uf)
+    done;
+    (* variance 4/12 -> scale to unit *)
+    fmul b (Reg s) (f64c 1.7320508075688772)
+  in
+  for_ b ~name:"sw" ~lo ~hi (fun sw ->
+      let k = load b Types.f64 (gep b (Glob "strike") sw 8) in
+      let v = load b Types.f64 (gep b (Glob "vol") sw 8) in
+      let r0 = load b Types.f64 (gep b (Glob "r0") sw 8) in
+      assign b lcg (trunc b Types.i32 (add b (mul b sw (i64c 0x9E3779B9)) (i64c 12345)));
+      let sum = fresh b ~name:"sum" Types.f64 in
+      assign b sum (f64c 0.0);
+      let myrates = gep b (Glob "rates") tid (tenors * 8) in
+      for_ b ~name:"p" ~lo:(i64c 0) ~hi:(i64c paths) (fun _ ->
+          let disc = fresh b ~name:"disc" Types.f64 in
+          assign b disc (f64c 0.0);
+          (* initialize the forward curve *)
+          for_ b ~name:"j" ~lo:(i64c 0) ~hi:(i64c tenors) (fun j ->
+              let spread = fmul b (sitofp b Types.f64 j) (f64c 0.0004) in
+              store b (fadd b r0 spread) (gep b myrates j 8));
+          for_ b ~name:"t" ~lo:(i64c 0) ~hi:(i64c horizon) (fun t ->
+              let g = gauss () in
+              let frow = mul b t (i64c tenors) in
+              (* evolve every tenor; the no-arbitrage drift couples each
+                 tenor to its shorter neighbour, a loop-carried dependence *)
+              let rprev = fresh b ~name:"rprev" Types.f64 in
+              assign b rprev (load b Types.f64 myrates);
+              for_ b ~name:"j" ~lo:(i64c 0) ~hi:(i64c tenors) (fun j ->
+                  let fac = load b Types.f64 (gep b (Glob "factors") (add b frow j) 8) in
+                  let dr = load b Types.f64 (gep b (Glob "drift") (add b frow j) 8) in
+                  let slot = gep b myrates j 8 in
+                  let r = load b Types.f64 slot in
+                  let coupled = fmul b (f64c 0.02) (fsub b (Reg rprev) r) in
+                  let r' = fadd b r (fadd b coupled (fadd b dr (fmul b v (fmul b g fac)))) in
+                  store b r' slot;
+                  assign b rprev r');
+              let r0now = load b Types.f64 myrates in
+              assign b disc (fadd b (Reg disc) r0now));
+          (* payoff max(r_T - K, 0) on the short rate, discounted *)
+          let rT = load b Types.f64 myrates in
+          let payoff = fsub b rT k in
+          let pos = fcmp b Fogt payoff (f64c 0.0) in
+          let pay = select b pos payoff (f64c 0.0) in
+          let df = Fmath.exp b (fmul b (f64c (-0.125)) (Reg disc)) in
+          assign b sum (fadd b (Reg sum) (fmul b pay df)));
+      store b (fdiv b (Reg sum) (f64c (float_of_int paths)))
+        (gep b (Glob "price") sw 8));
+  ret b None;
+  let b, _ = func m "emit" [] in
+  for_ b ~name:"sw" ~lo:(i64c 0) ~hi:(i64c nsw) (fun sw ->
+      call0 b "output_f64" [ load b Types.f64 (gep b (Glob "price") sw 8) ]);
+  ret b None;
+  Parallel.standard_main m ~worker:"work" ~finish:(fun b -> Builder.call0 b "emit" []);
+  Rtlib.link m
+
+let init size machine =
+  let nsw, _ = params size in
+  let st = Data.rng 53 in
+  Data.fill_f64 machine "strike" nsw (fun _ -> Data.uniform st 0.02 0.08);
+  Data.fill_f64 machine "vol" nsw (fun _ -> Data.uniform st 0.05 0.3);
+  Data.fill_f64 machine "r0" nsw (fun _ -> Data.uniform st 0.01 0.05);
+  Data.fill_f64 machine "factors" (horizon * tenors) (fun _ -> Data.uniform st 0.05 0.15);
+  Data.fill_f64 machine "drift" (horizon * tenors) (fun _ -> Data.uniform st 0.0001 0.001)
+
+let workload =
+  Workload.make ~name:"swap" ~description:"PARSEC swaptions (Monte-Carlo short-rate pricing)"
+    ~build ~init ()

@@ -1,0 +1,3 @@
+(** word_count benchmark kernel (see the .ml for the modelling notes). *)
+
+val workload : Workload.t

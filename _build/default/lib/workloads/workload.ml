@@ -1,0 +1,59 @@
+(** Common shape of a benchmark workload.
+
+    Each workload builds a linked IR module (kernel functions hardened,
+    driver and input plumbing unhardened, mirroring the paper's build where
+    musl is hardened but OS/pthreads/IO are not), describes how the host
+    pokes input data into simulated memory (the analogue of reading the
+    input files — free of simulated cycles), and exposes one entry point
+    [main(nthreads)]. *)
+
+type size = Tiny | Small | Medium | Large
+
+let size_to_string = function
+  | Tiny -> "tiny"
+  | Small -> "small"
+  | Medium -> "medium"
+  | Large -> "large"
+
+type t = {
+  name : string;
+  description : string;
+  build : size -> Ir.Instr.modul;
+  init : size -> Cpu.Machine.t -> unit;
+  fi_ok : bool;  (** part of the fault-injection campaign (Fig. 13) *)
+}
+
+let make ?(fi_ok = true) ~name ~description ~build ?(init = fun _ _ -> ()) () =
+  { name; description; build; init; fi_ok }
+
+(* Builds, prepares (runs the pass pipeline of the chosen flavour), loads
+   and executes a workload; the module is verified along the way. *)
+let execute ?(machine_cfg = Cpu.Machine.default_config) (w : t) ~(build : Elzar.build)
+    ~(nthreads : int) ~(size : size) : Cpu.Machine.result =
+  let m = w.build size in
+  let prepared = Elzar.prepare build m in
+  let machine =
+    Cpu.Machine.create ~cfg:machine_cfg ~flags_cmp:(Elzar.uses_flags_cmp build) prepared
+  in
+  w.init size machine;
+  Cpu.Machine.run ~args:[| Int64.of_int nthreads |] machine "main"
+
+(* Same, but from an already prepared module (lets benchmarks prepare once
+   and sweep thread counts). *)
+let execute_prepared ?(machine_cfg = Cpu.Machine.default_config) (w : t)
+    ~(prepared : Ir.Instr.modul) ~(flags_cmp : bool) ~(nthreads : int) ~(size : size) :
+    Cpu.Machine.result =
+  let machine = Cpu.Machine.create ~cfg:machine_cfg ~flags_cmp prepared in
+  w.init size machine;
+  Cpu.Machine.run ~args:[| Int64.of_int nthreads |] machine "main"
+
+(* Fault-injection spec for this workload (paper: smallest inputs, 2
+   threads). *)
+let fi_spec (w : t) ~(build : Elzar.build) ?(nthreads = 2) ?(size = Tiny) () :
+    Fault.run_spec =
+  let m = w.build size in
+  let prepared = Elzar.prepare build m in
+  Fault.make_spec ~flags_cmp:(Elzar.uses_flags_cmp build)
+    ~args:[| Int64.of_int nthreads |]
+    ~init:(fun machine -> w.init size machine)
+    prepared "main"

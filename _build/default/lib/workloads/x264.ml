@@ -1,0 +1,122 @@
+(** PARSEC x264: the SAD motion-estimation kernel — for every 8x8 block of
+    the current frame, search a +/-4 window in the reference frame for the
+    offset minimizing the sum of absolute byte differences. *)
+
+open Ir
+open Instr
+
+let blk = 8
+let search = 2  (* +/- window *)
+
+(* frame width/height in blocks *)
+let params = function
+  | Workload.Tiny -> (2, 2)
+  | Workload.Small -> (4, 3)
+  | Workload.Medium -> (6, 4)
+  | Workload.Large -> (10, 7)
+
+let build size : modul =
+  let bw, bh = params size in
+  let w = (bw * blk) + (2 * search) and h = (bh * blk) + (2 * search) in
+  let m = Builder.create_module () in
+  Builder.global m "cur" (w * h);
+  Builder.global m "ref" (w * h);
+  Builder.global m "mv" (bw * bh * 8);
+  Builder.global m "psad" (Parallel.max_threads * 8);
+  let open Builder in
+  let b, ps = func m "work" [ ("arg", Types.ptr) ] in
+  let arg = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tid, nth = Parallel.worker_ids b arg in
+  let nblocks = bw * bh in
+  let lo, hi = Parallel.chunk b ~tid ~nthreads:nth ~total:(i64c nblocks) in
+  let sadsum = fresh b ~name:"sadsum" Types.i64 in
+  assign b sadsum (i64c 0);
+  for_ b ~name:"blkid" ~lo ~hi (fun blkid ->
+      let bx = srem b blkid (i64c bw) in
+      let by = sdiv b blkid (i64c bw) in
+      let x0 = add b (mul b bx (i64c blk)) (i64c search) in
+      let y0 = add b (mul b by (i64c blk)) (i64c search) in
+      let bestsad = fresh b ~name:"bestsad" Types.i64 in
+      let bestmv = fresh b ~name:"bestmv" Types.i64 in
+      assign b bestsad (Imm (Types.i64, Int64.max_int));
+      assign b bestmv (i64c 0);
+      for_ b ~name:"dy" ~lo:(i64c (-search)) ~hi:(i64c (search + 1)) (fun dy ->
+          for_ b ~name:"dx" ~lo:(i64c (-search)) ~hi:(i64c (search + 1)) (fun dx ->
+              let sad = fresh b ~name:"sad" Types.i64 in
+              assign b sad (i64c 0);
+              (* SAD with early termination: abandon the candidate as soon
+                 as it exceeds the best so far, as x264's motion search
+                 does (this data-dependent exit is also why the loop cannot
+                 be vectorized) *)
+              for_ b ~name:"ry" ~lo:(i64c 0) ~hi:(i64c blk) (fun ry ->
+                  let crow = mul b (add b y0 ry) (i64c w) in
+                  let rrow = mul b (add b (add b y0 dy) ry) (i64c w) in
+                  let cbase = add b crow x0 in
+                  let rbase = add b (add b rrow x0) dx in
+                  let rx = fresh b ~name:"rx" Types.i64 in
+                  assign b rx (i64c 0);
+                  while_ b
+                    ~cond:(fun () ->
+                      let inb = icmp b Islt (Reg rx) (i64c blk) in
+                      let alive = icmp b Isle (Reg sad) (Reg bestsad) in
+                      and_ b inb alive)
+                    ~body:(fun () ->
+                      let c =
+                        load b Types.i8 (gep b (Glob "cur") (add b cbase (Reg rx)) 1)
+                      in
+                      let r =
+                        load b Types.i8 (gep b (Glob "ref") (add b rbase (Reg rx)) 1)
+                      in
+                      let ci = zext b Types.i64 c and ri = zext b Types.i64 r in
+                      let d = sub b ci ri in
+                      let neg = icmp b Islt d (i64c 0) in
+                      let ad = select b neg (sub b (i64c 0) d) d in
+                      assign b sad (add b (Reg sad) ad);
+                      assign b rx (add b (Reg rx) (i64c 1))));
+              let better = icmp b Islt (Reg sad) (Reg bestsad) in
+              if_ b better
+                ~then_:(fun () ->
+                  assign b bestsad (Reg sad);
+                  assign b bestmv
+                    (add b (mul b (add b dy (i64c search)) (i64c 16))
+                       (add b dx (i64c search))))
+                ()));
+      store b (Reg bestmv) (gep b (Glob "mv") blkid 8);
+      assign b sadsum (add b (Reg sadsum) (Reg bestsad)));
+  store b (Reg sadsum) (gep b (Glob "psad") tid 8);
+  ret b None;
+  let b, ps = func m "reduce" [ ("nth", Types.i64) ] in
+  let nth = match ps with [ a ] -> Reg a | _ -> assert false in
+  let tot = fresh b ~name:"tot" Types.i64 in
+  assign b tot (i64c 0);
+  for_ b ~name:"t" ~lo:(i64c 0) ~hi:nth (fun t ->
+      assign b tot (add b (Reg tot) (load b Types.i64 (gep b (Glob "psad") t 8))));
+  call0 b "output_i64" [ Reg tot ];
+  let chk = fresh b ~name:"chk" Types.i64 in
+  assign b chk (i64c 0);
+  for_ b ~name:"i" ~lo:(i64c 0) ~hi:(i64c nblocks) (fun i ->
+      let v = load b Types.i64 (gep b (Glob "mv") i 8) in
+      assign b chk (add b (mul b (Reg chk) (i64c 31)) v));
+  call0 b "output_i64" [ Reg chk ];
+  ret b None;
+  Parallel.standard_main m ~worker:"work" ~finish:(fun b ->
+      match b.Builder.func.params with
+      | [ p ] -> Builder.call0 b "reduce" [ Reg p ]
+      | _ -> assert false);
+  Rtlib.link m
+
+let init size machine =
+  let bw, bh = params size in
+  let w = (bw * blk) + (2 * search) and h = (bh * blk) + (2 * search) in
+  let st = Data.rng 59 in
+  let reff = Array.init (w * h) (fun _ -> Random.State.int st 256) in
+  Data.fill_bytes machine "ref" (w * h) (fun i -> reff.(i));
+  (* current frame: the reference shifted with noise, so motion search has
+     real minima *)
+  Data.fill_bytes machine "cur" (w * h) (fun i ->
+      let x = i mod w and y = i / w in
+      let sx = min (w - 1) (max 0 (x + 2)) and sy = min (h - 1) (max 0 (y - 1)) in
+      (reff.((sy * w) + sx) + Random.State.int st 8) land 0xFF)
+
+let workload =
+  Workload.make ~name:"x264" ~description:"PARSEC x264 (SAD motion estimation)" ~build ~init ()

@@ -1,0 +1,3 @@
+(** PARSEC x264 SAD motion-estimation kernel. *)
+
+val workload : Workload.t

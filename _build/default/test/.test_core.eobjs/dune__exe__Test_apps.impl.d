@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Cpu Elzar List

@@ -1,0 +1,1 @@
+test/test_characteristics.ml: Alcotest Cpu Elzar List Workloads

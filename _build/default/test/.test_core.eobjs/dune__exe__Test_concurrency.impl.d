@@ -1,0 +1,1 @@
+test/test_concurrency.ml: Alcotest Builder Bytes Cpu Instr Ir Types Verifier Workloads

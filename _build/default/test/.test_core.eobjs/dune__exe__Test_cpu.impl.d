@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Branch_pred Cache Cost Cpu Float Hashtbl Int64 Ir Memory Timing Value

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Builder Dataflow Elzar Hashtbl Instr Ir List Option String Types Verifier Workloads

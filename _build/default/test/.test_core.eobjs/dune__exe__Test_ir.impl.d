@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Cpu Elzar Instr Ir Linker List Option Parser Printer String Types Verifier Workloads

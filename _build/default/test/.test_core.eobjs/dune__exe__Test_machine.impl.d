@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Buffer Builder Bytes Cpu Instr Ir Option String Types Verifier

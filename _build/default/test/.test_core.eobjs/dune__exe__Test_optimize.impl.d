@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Builder Cpu Elzar Instr Ir List Option Types Verifier Workloads

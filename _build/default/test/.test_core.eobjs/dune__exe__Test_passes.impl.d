@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Builder Cpu Elzar Instr Ir List Option Printer String Types Verifier

@@ -1,0 +1,1 @@
+test/test_props.ml: Builder Cpu Elzar Gen Instr Ir Linker List Parser Printer QCheck QCheck_alcotest Types Verifier

@@ -1,0 +1,1 @@
+test/test_rtlib.ml: Alcotest Builder Bytes Cpu Float Instr Int64 Ir List Types Verifier Workloads

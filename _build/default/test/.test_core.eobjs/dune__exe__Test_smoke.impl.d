@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Bytes Cpu Elzar Int64 Ir List String

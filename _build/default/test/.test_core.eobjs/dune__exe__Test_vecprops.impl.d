@@ -1,0 +1,1 @@
+test/test_vecprops.ml: Alcotest Builder Cpu Elzar Instr Ir Printf QCheck QCheck_alcotest Random Types Verifier Workloads

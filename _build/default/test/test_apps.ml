@@ -1,0 +1,86 @@
+(* Case-study application tests: YCSB distributions, trap-free execution,
+   and the scalability signatures the paper reports (memcached scales,
+   sqlite3 reverse-scales). *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_ycsb_workload_a_mix () =
+  let reqs = Apps.Ycsb.generate Apps.Ycsb.A ~nkeys:1000 ~nreq:4000 in
+  let reads = Array.fold_left (fun a (op, _) -> if op = Apps.Ycsb.Read then a + 1 else a) 0 reqs in
+  let frac = float_of_int reads /. 4000.0 in
+  check_bool "workload A is ~50% reads" true (frac > 0.45 && frac < 0.55)
+
+let test_ycsb_workload_d_mix () =
+  let reqs = Apps.Ycsb.generate Apps.Ycsb.D ~nkeys:1000 ~nreq:4000 in
+  let reads = Array.fold_left (fun a (op, _) -> if op = Apps.Ycsb.Read then a + 1 else a) 0 reqs in
+  let frac = float_of_int reads /. 4000.0 in
+  check_bool "workload D is ~95% reads" true (frac > 0.92 && frac < 0.98)
+
+let test_zipf_is_skewed () =
+  let reqs = Apps.Ycsb.generate Apps.Ycsb.A ~nkeys:1000 ~nreq:5000 in
+  let hot = Array.fold_left (fun a (_, k) -> if k < 10 then a + 1 else a) 0 reqs in
+  (* 10 of 1000 keys should get far more than 1% of the traffic *)
+  check_bool "zipfian head is hot" true (float_of_int hot /. 5000.0 > 0.15)
+
+let test_latest_is_recent () =
+  let reqs = Apps.Ycsb.generate Apps.Ycsb.D ~nkeys:1000 ~nreq:5000 in
+  let recent = Array.fold_left (fun a (_, k) -> if k >= 990 then a + 1 else a) 0 reqs in
+  check_bool "latest keys are hot" true (float_of_int recent /. 5000.0 > 0.15)
+
+let run_app name client build nthreads =
+  let app = Apps.Registry_apps.find name in
+  let r = Apps.App.execute app ~build ~client ~nthreads in
+  (match r.Cpu.Machine.trap with
+  | Some t -> Alcotest.failf "%s trapped: %s" name (Cpu.Machine.string_of_trap t)
+  | None -> ());
+  (app, r)
+
+let test_apps_run_all_builds () =
+  List.iter
+    (fun (app : Apps.App.t) ->
+      List.iter
+        (fun client ->
+          List.iter
+            (fun b -> ignore (run_app app.Apps.App.name client b 2))
+            [ Elzar.Native; Elzar.Hardened Elzar.Harden_config.default ])
+        app.Apps.App.clients)
+    Apps.Registry_apps.all
+
+let throughput name client build nthreads =
+  let app, r = run_app name client build nthreads in
+  Apps.App.throughput app r
+
+let test_memcached_scales () =
+  let t1 = throughput "memcached" (Apps.App.Ycsb Apps.Ycsb.A) Elzar.Native 1 in
+  let t8 = throughput "memcached" (Apps.App.Ycsb Apps.Ycsb.A) Elzar.Native 8 in
+  check_bool "memcached scales with threads" true (t8 > 2.0 *. t1)
+
+let test_sqlite_reverse_scales () =
+  let t1 = throughput "sqlite3" (Apps.App.Ycsb Apps.Ycsb.A) Elzar.Native 1 in
+  let t8 = throughput "sqlite3" (Apps.App.Ycsb Apps.Ycsb.A) Elzar.Native 8 in
+  check_bool "sqlite3 does not scale (global lock)" true (t8 < 1.3 *. t1)
+
+let test_elzar_throughput_ratios () =
+  (* the paper's §VI ordering: apache amortizes best, sqlite3 worst *)
+  let ratio name client =
+    throughput name client (Elzar.Hardened Elzar.Harden_config.default) 4
+    /. throughput name client Elzar.Native 4
+  in
+  let mc = ratio "memcached" (Apps.App.Ycsb Apps.Ycsb.A) in
+  let sq = ratio "sqlite3" (Apps.App.Ycsb Apps.Ycsb.A) in
+  let ap = ratio "apache" Apps.App.Ab in
+  check_bool "all ratios in (0,1]" true (mc > 0.0 && mc <= 1.01 && sq > 0.0 && ap <= 1.01);
+  check_bool "apache amortizes better than sqlite3" true (ap > sq);
+  check_bool "memcached amortizes better than sqlite3" true (mc > sq)
+
+let tests =
+  [
+    Alcotest.test_case "ycsb A mix" `Quick test_ycsb_workload_a_mix;
+    Alcotest.test_case "ycsb D mix" `Quick test_ycsb_workload_d_mix;
+    Alcotest.test_case "zipfian skew" `Quick test_zipf_is_skewed;
+    Alcotest.test_case "latest skew" `Quick test_latest_is_recent;
+    Alcotest.test_case "all apps, all builds" `Slow test_apps_run_all_builds;
+    Alcotest.test_case "memcached scales" `Quick test_memcached_scales;
+    Alcotest.test_case "sqlite3 reverse-scales" `Quick test_sqlite_reverse_scales;
+    Alcotest.test_case "hardening throughput order" `Slow test_elzar_throughput_ratios;
+  ]

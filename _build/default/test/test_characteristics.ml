@@ -1,0 +1,83 @@
+(* Regression locks on the workload characteristics that the paper's
+   evaluation depends on (Table II shapes and the scalability signatures).
+   If a future change quietly makes mmul cache-friendly or fluidanimate
+   predictable, these fail before the figures drift. *)
+
+let check_bool = Alcotest.(check bool)
+
+let native w ~nthreads =
+  Workloads.Workload.execute (Workloads.Registry.find w) ~build:Elzar.Native ~nthreads
+    ~size:Workloads.Workload.Small
+
+let totals r = r.Cpu.Machine.totals
+
+let test_mmul_memory_bound () =
+  let c = totals (native "mmul" ~nthreads:4) in
+  check_bool "mmul misses L1 heavily (paper: 62%)" true (Cpu.Counters.l1_miss_pct c > 25.0)
+
+let test_streaming_benchmarks_hit () =
+  List.iter
+    (fun w ->
+      let c = totals (native w ~nthreads:4) in
+      if Cpu.Counters.l1_miss_pct c > 12.0 then
+        Alcotest.failf "%s should stream through the prefetcher, misses %.1f%%" w
+          (Cpu.Counters.l1_miss_pct c))
+    [ "hist"; "smatch"; "dedup" ]
+
+let test_fluid_branchy () =
+  let c = totals (native "fluid" ~nthreads:4) in
+  check_bool "fluidanimate mispredicts (paper: 14.7%)" true
+    (Cpu.Counters.branch_miss_pct c > 4.0)
+
+let test_linreg_predictable () =
+  let c = totals (native "linreg" ~nthreads:4) in
+  check_bool "linreg branches are loop branches (paper: 0.01%)" true
+    (Cpu.Counters.branch_miss_pct c < 1.0)
+
+let test_black_few_memory_ops () =
+  let c = totals (native "black" ~nthreads:4) in
+  check_bool "blackscholes is compute-dense (paper: 9.4% loads)" true
+    (Cpu.Counters.loads_pct c < 8.0)
+
+let test_hist_memory_dense () =
+  let c = totals (native "hist" ~nthreads:4) in
+  check_bool "histogram is the most memory-dense kernel" true
+    (Cpu.Counters.loads_pct c +. Cpu.Counters.stores_pct c > 15.0)
+
+let test_elzar_uses_avx_native_does_not () =
+  let n = totals (native "linreg" ~nthreads:2) in
+  Alcotest.(check int) "no AVX in scalar native linreg" 0 n.Cpu.Counters.avx_instrs;
+  let e =
+    totals
+      (Workloads.Workload.execute (Workloads.Registry.find "linreg")
+         ~build:(Elzar.Hardened Elzar.Harden_config.default) ~nthreads:2
+         ~size:Workloads.Workload.Small)
+  in
+  check_bool "hardened build is AVX-dominated" true
+    (float_of_int e.Cpu.Counters.avx_instrs /. float_of_int e.Cpu.Counters.instrs > 0.4)
+
+let test_dedup_lock_bound () =
+  (* dedup's global-table lock limits scaling (paper §V-B) *)
+  let t1 = (native "dedup" ~nthreads:1).Cpu.Machine.wall_cycles in
+  let t8 = (native "dedup" ~nthreads:8).Cpu.Machine.wall_cycles in
+  let speedup = float_of_int t1 /. float_of_int t8 in
+  check_bool "dedup scales sublinearly" true (speedup < 6.0)
+
+let test_linreg_scales () =
+  let t1 = (native "linreg" ~nthreads:1).Cpu.Machine.wall_cycles in
+  let t8 = (native "linreg" ~nthreads:8).Cpu.Machine.wall_cycles in
+  let speedup = float_of_int t1 /. float_of_int t8 in
+  check_bool "linreg scales well" true (speedup > 4.0)
+
+let tests =
+  [
+    Alcotest.test_case "mmul memory-bound" `Slow test_mmul_memory_bound;
+    Alcotest.test_case "streaming kernels prefetch" `Slow test_streaming_benchmarks_hit;
+    Alcotest.test_case "fluid branch-missy" `Slow test_fluid_branchy;
+    Alcotest.test_case "linreg predictable" `Slow test_linreg_predictable;
+    Alcotest.test_case "black compute-dense" `Slow test_black_few_memory_ops;
+    Alcotest.test_case "hist memory-dense" `Slow test_hist_memory_dense;
+    Alcotest.test_case "AVX usage per build" `Slow test_elzar_uses_avx_native_does_not;
+    Alcotest.test_case "dedup lock-bound" `Slow test_dedup_lock_bound;
+    Alcotest.test_case "linreg scales" `Slow test_linreg_scales;
+  ]

@@ -1,0 +1,159 @@
+(* Multithreading semantics of the simulated machine: spawn/join, spinlock
+   mutual exclusion, atomic read-modify-write under contention, determinism
+   of the scheduler, and deadlock detection. *)
+
+open Ir
+
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let first_i64 (r : Cpu.Machine.result) =
+  Bytes.get_int64_le (Bytes.of_string r.Cpu.Machine.output_bytes) 0
+
+(* N workers each do K lock-protected read-modify-write increments of a
+   shared counter; without mutual exclusion updates would be lost. *)
+let locked_counter_module ~nthreads ~iters =
+  let m = Builder.create_module () in
+  Builder.global m "counter" 8;
+  Builder.global m "lk" 8;
+  Workloads.Parallel.add_globals m;
+  let open Builder in
+  let b, _ = func m "work" [ ("arg", Types.ptr) ] in
+  for_ b ~lo:(i64c 0) ~hi:(i64c iters) (fun _ ->
+      call0 b "lock" [ Instr.Glob "lk" ];
+      let v = load b Types.i64 (Instr.Glob "counter") in
+      (* a deliberately long critical section to force contention *)
+      let bump = fresh b ~name:"bump" Types.i64 in
+      assign b bump (i64c 0);
+      for_ b ~lo:(i64c 0) ~hi:(i64c 5) (fun _ ->
+          assign b bump (add b (Reg bump) (i64c 1)));
+      store b (add b v (sdiv b (Reg bump) (i64c 5))) (Instr.Glob "counter");
+      call0 b "unlock" [ Instr.Glob "lk" ]);
+  ret b None;
+  let b, ps = func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  ignore ps;
+  Workloads.Parallel.spawn_join b ~worker:"work" ~nthreads:(i64c nthreads);
+  call0 b "output_i64" [ load b Types.i64 (Instr.Glob "counter") ];
+  ret b None;
+  m
+
+let test_lock_mutual_exclusion () =
+  let m = locked_counter_module ~nthreads:6 ~iters:40 in
+  Verifier.verify_exn m;
+  let r = Cpu.Machine.run_module m "main" ~args:[| 0L |] in
+  check_bool "no trap" true (r.Cpu.Machine.trap = None);
+  check_i64 "no lost updates" 240L (first_i64 r)
+
+let test_atomic_fetch_add () =
+  let m = Builder.create_module () in
+  Builder.global m "counter" 8;
+  Workloads.Parallel.add_globals m;
+  let open Builder in
+  let b, _ = func m "work" [ ("arg", Types.ptr) ] in
+  for_ b ~lo:(i64c 0) ~hi:(i64c 100) (fun _ ->
+      ignore (atomic_rmw b Instr.Rmw_add (Instr.Glob "counter") (i64c 1)));
+  ret b None;
+  let b, _ = func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  Workloads.Parallel.spawn_join b ~worker:"work" ~nthreads:(i64c 8);
+  call0 b "output_i64" [ load b Types.i64 (Instr.Glob "counter") ];
+  ret b None;
+  Verifier.verify_exn m;
+  let r = Cpu.Machine.run_module m "main" ~args:[| 0L |] in
+  check_i64 "atomics never lose updates" 800L (first_i64 r)
+
+let test_cmpxchg_spinlock () =
+  (* a hand-rolled CAS lock instead of the builtin *)
+  let m = Builder.create_module () in
+  Builder.global m "counter" 8;
+  Builder.global m "cas" 8;
+  Workloads.Parallel.add_globals m;
+  let open Builder in
+  let b, _ = func m "work" [ ("arg", Types.ptr) ] in
+  for_ b ~lo:(i64c 0) ~hi:(i64c 30) (fun _ ->
+      let got = fresh b ~name:"got" Types.i64 in
+      assign b got (i64c 0);
+      while_ b
+        ~cond:(fun () -> icmp b Instr.Ieq (Reg got) (i64c 0))
+        ~body:(fun () ->
+          let old = cmpxchg b (Instr.Glob "cas") (i64c 0) (i64c 1) in
+          if_ b (icmp b Instr.Ieq old (i64c 0))
+            ~then_:(fun () -> assign b got (i64c 1))
+            ());
+      let v = load b Types.i64 (Instr.Glob "counter") in
+      store b (add b v (i64c 1)) (Instr.Glob "counter");
+      store b (i64c 0) (Instr.Glob "cas"));
+  ret b None;
+  let b, _ = func m ~hardened:false "main" [ ("nthreads", Types.i64) ] in
+  Workloads.Parallel.spawn_join b ~worker:"work" ~nthreads:(i64c 5);
+  call0 b "output_i64" [ load b Types.i64 (Instr.Glob "counter") ];
+  ret b None;
+  Verifier.verify_exn m;
+  let r = Cpu.Machine.run_module m "main" ~args:[| 0L |] in
+  check_i64 "CAS lock protects" 150L (first_i64 r)
+
+let test_scheduler_deterministic () =
+  let m = locked_counter_module ~nthreads:4 ~iters:25 in
+  let run () =
+    let r = Cpu.Machine.run_module m "main" ~args:[| 0L |] in
+    (r.Cpu.Machine.wall_cycles, r.Cpu.Machine.output_bytes)
+  in
+  let a = run () and b = run () in
+  check_bool "same cycles, same output" true (a = b)
+
+let test_deadlock_detected () =
+  let m = Builder.create_module () in
+  Builder.global m "lk" 8;
+  let open Builder in
+  let b, _ = func m ~hardened:false "main" [ ("n", Types.i64) ] in
+  call0 b "lock" [ Instr.Glob "lk" ];
+  call0 b "lock" [ Instr.Glob "lk" ];  (* self-deadlock *)
+  ret b None;
+  Verifier.verify_exn m;
+  let cfg = { Cpu.Machine.default_config with max_instrs = 100_000 } in
+  let r = Cpu.Machine.run_module ~cfg m "main" ~args:[| 0L |] in
+  check_bool "hang or deadlock reported" true
+    (match r.Cpu.Machine.trap with
+    | Some Cpu.Machine.Hang | Some Cpu.Machine.Deadlock -> true
+    | _ -> false)
+
+let test_join_before_read () =
+  (* main reads a value the worker writes; the join edge must order them *)
+  let m = Builder.create_module () in
+  Builder.global m "flag" 8;
+  Workloads.Parallel.add_globals m;
+  let open Builder in
+  let b, _ = func m "work" [ ("arg", Types.ptr) ] in
+  (* burn some cycles first *)
+  let acc = fresh b ~name:"acc" Types.i64 in
+  assign b acc (i64c 0);
+  for_ b ~lo:(i64c 0) ~hi:(i64c 5_000) (fun i -> assign b acc (add b (Reg acc) i));
+  store b (i64c 42) (Instr.Glob "flag");
+  ret b None;
+  let b, _ = func m ~hardened:false "main" [ ("n", Types.i64) ] in
+  Workloads.Parallel.spawn_join b ~worker:"work" ~nthreads:(i64c 1);
+  call0 b "output_i64" [ load b Types.i64 (Instr.Glob "flag") ];
+  ret b None;
+  Verifier.verify_exn m;
+  let r = Cpu.Machine.run_module m "main" ~args:[| 0L |] in
+  check_i64 "join orders memory" 42L (first_i64 r);
+  (* and the joiner's clock advanced past the worker's work *)
+  check_bool "wall includes worker time" true (r.Cpu.Machine.wall_cycles > 5_000)
+
+let test_contention_costs_cycles () =
+  let uncontended = Cpu.Machine.run_module (locked_counter_module ~nthreads:1 ~iters:100) "main" ~args:[| 0L |] in
+  let contended = Cpu.Machine.run_module (locked_counter_module ~nthreads:8 ~iters:100) "main" ~args:[| 0L |] in
+  (* 8x the total work, but serialized by the lock: the wall clock must
+     grow superlinearly vs the single-thread run's useful work *)
+  check_bool "lock serializes wall-clock" true
+    (contended.Cpu.Machine.wall_cycles > 4 * uncontended.Cpu.Machine.wall_cycles)
+
+let tests =
+  [
+    Alcotest.test_case "lock mutual exclusion" `Quick test_lock_mutual_exclusion;
+    Alcotest.test_case "atomic fetch-add" `Quick test_atomic_fetch_add;
+    Alcotest.test_case "cmpxchg spinlock" `Quick test_cmpxchg_spinlock;
+    Alcotest.test_case "scheduler determinism" `Quick test_scheduler_deterministic;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detected;
+    Alcotest.test_case "join ordering" `Quick test_join_before_read;
+    Alcotest.test_case "contention costs cycles" `Quick test_contention_costs_cycles;
+  ]

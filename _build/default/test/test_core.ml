@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "elzar"
+    [
+      ("ir", Test_ir.tests);
+      ("dataflow", Test_dataflow.tests);
+      ("cpu", Test_cpu.tests);
+      ("machine", Test_machine.tests);
+      ("concurrency", Test_concurrency.tests);
+      ("passes", Test_passes.tests);
+      ("optimize", Test_optimize.tests);
+      ("rtlib", Test_rtlib.tests);
+      ("fault", Test_fault.tests);
+      ("props", Test_props.tests);
+      ("vecprops", Test_vecprops.tests);
+      ("apps", Test_apps.tests);
+      ("smoke", Test_smoke.tests);
+      ("workloads", Test_workloads.tests);
+      ("characteristics", Test_characteristics.tests);
+    ]

@@ -1,0 +1,225 @@
+(* Unit tests of the CPU substrate: value semantics, cache, branch
+   predictor, timing engine, memory/allocator. *)
+
+open Cpu
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+(* ---- value semantics ---- *)
+
+let test_int_widths () =
+  let add8 = Value.binop_fn Ir.Types.I8 Ir.Instr.Add in
+  check_i64 "i8 wraps" 0L (add8 255L 1L);
+  let mul32 = Value.binop_fn Ir.Types.I32 Ir.Instr.Mul in
+  check_i64 "i32 wraps" 0L (mul32 0x10000L 0x10000L);
+  let sub16 = Value.binop_fn Ir.Types.I16 Ir.Instr.Sub in
+  check_i64 "i16 canonical zero-extended" 0xFFFFL (sub16 0L 1L)
+
+let test_signed_ops () =
+  let sdiv = Value.binop_fn Ir.Types.I32 Ir.Instr.Sdiv in
+  check_i64 "sdiv negative" (Value.canon Ir.Types.I32 (-3L)) (sdiv (Value.canon Ir.Types.I32 (-7L)) 2L);
+  let ashr = Value.binop_fn Ir.Types.I32 Ir.Instr.Ashr in
+  check_i64 "ashr sign extends" (Value.canon Ir.Types.I32 (-1L))
+    (ashr (Value.canon Ir.Types.I32 (-1L)) 5L);
+  let lshr = Value.binop_fn Ir.Types.I32 Ir.Instr.Lshr in
+  check_i64 "lshr is logical" 0x7FFFFFFFL (lshr 0xFFFFFFFFL 1L)
+
+let test_div_by_zero () =
+  let sdiv = Value.binop_fn Ir.Types.I64 Ir.Instr.Sdiv in
+  check_bool "raises" true
+    (try
+       ignore (sdiv 1L 0L);
+       false
+     with Value.Division_by_zero -> true)
+
+let test_float_roundtrip () =
+  let v = 3.14159 in
+  check_bool "f64 bits roundtrip" true (Value.f64_decode (Value.f64_encode v) = v);
+  let v32 = Value.f32_decode (Value.f32_encode 1.5) in
+  check_bool "f32 exact for 1.5" true (v32 = 1.5);
+  let fadd32 = Value.fbinop_fn Ir.Types.F32 Ir.Instr.Fadd in
+  (* single-precision rounding actually happens *)
+  let one_third = Value.f32_encode (1.0 /. 3.0) in
+  check_bool "f32 is not f64" true
+    (Value.f32_decode (fadd32 one_third one_third) <> 2.0 /. 3.0)
+
+let test_casts () =
+  let sext = Value.cast_fn Ir.Instr.Sext ~from:Ir.Types.I8 ~dst:Ir.Types.I64 in
+  check_i64 "sext i8" (-1L) (sext 0xFFL);
+  let zext = Value.cast_fn Ir.Instr.Zext ~from:Ir.Types.I8 ~dst:Ir.Types.I64 in
+  check_i64 "zext i8" 255L (zext 0xFFL);
+  let fptosi = Value.cast_fn Ir.Instr.Fptosi ~from:Ir.Types.F64 ~dst:Ir.Types.I32 in
+  check_i64 "fptosi truncates toward zero" (Value.canon Ir.Types.I32 (-3L))
+    (fptosi (Value.f64_encode (-3.7)));
+  check_i64 "fptosi of nan is 0" 0L (fptosi (Value.f64_encode Float.nan))
+
+let test_icmp_unsigned () =
+  let ult = Value.icmp_fn Ir.Types.I64 Ir.Instr.Iult in
+  check_bool "unsigned compare" true (ult 1L (-1L));
+  let slt = Value.icmp_fn Ir.Types.I64 Ir.Instr.Islt in
+  check_bool "signed compare" false (slt 1L (-1L))
+
+(* ---- cache ---- *)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create () in
+  check_int "first access misses" Cache.miss_latency (Cache.access c 0x10000L);
+  check_int "second access hits" Cache.hit_latency (Cache.access c 0x10008L);
+  check_int "one miss recorded" 1 c.Cache.misses
+
+let test_cache_prefetch_next_line () =
+  let c = Cache.create () in
+  ignore (Cache.access c 0x10000L);
+  check_int "next line was prefetched" Cache.hit_latency (Cache.access c 0x10040L)
+
+let test_cache_capacity_eviction () =
+  let c = Cache.create ~size_kb:32 () in
+  (* touch 64 KB: the first lines must be evicted *)
+  for i = 0 to 1023 do
+    ignore (Cache.access c (Int64.of_int (0x100000 + (i * 64))))
+  done;
+  check_int "evicted line misses again" Cache.miss_latency (Cache.access c 0x100000L)
+
+let test_cache_lru () =
+  let c = Cache.create ~size_kb:1 ~ways:2 () in
+  (* 1KB, 2-way, 64B lines -> 8 sets; three lines mapping to set 0 *)
+  let addr k = Int64.of_int (k * 8 * 64) in
+  ignore (Cache.access c (addr 0));
+  ignore (Cache.access c (addr 2));
+  ignore (Cache.access c (addr 0));
+  (* line 2 is LRU (line 0 was re-touched); inserting line 4 evicts 2 *)
+  ignore (Cache.access c (addr 4));
+  check_int "line 0 retained" Cache.hit_latency (Cache.access c (addr 0))
+
+(* ---- branch predictor ---- *)
+
+let test_predictor_learns () =
+  let p = Branch_pred.create () in
+  for _ = 1 to 100 do
+    ignore (Branch_pred.record p ~pc:42 ~taken:true)
+  done;
+  check_bool "steady taken branch predicted" false (Branch_pred.record p ~pc:42 ~taken:true)
+
+let test_predictor_alternation_costs () =
+  let p = Branch_pred.create () in
+  let misses = ref 0 in
+  for i = 1 to 1000 do
+    (* pseudo-random outcome: hard for a 2-bit counter *)
+    let taken = Hashtbl.hash i land 1 = 0 in
+    if Branch_pred.record p ~pc:7 ~taken then incr misses
+  done;
+  check_bool "random branch mispredicts a lot" true (!misses > 200)
+
+(* ---- timing engine ---- *)
+
+let alu_uops n = Array.make n Cost.alu
+
+let test_timing_ilp () =
+  let t = Timing.create () in
+  (* 100 independent single-cycle ALU ops on 4 ports: ~4 per cycle *)
+  for _ = 1 to 100 do
+    ignore (Timing.exec t ~ready:0 ~mem_lat:4 (alu_uops 1))
+  done;
+  let c = Timing.cycle t in
+  check_bool "4-wide ILP" true (c >= 24 && c <= 35)
+
+let test_timing_dependency_chain () =
+  let t = Timing.create () in
+  let ready = ref 0 in
+  for _ = 1 to 100 do
+    ready := Timing.exec t ~ready:!ready ~mem_lat:4 [| Cost.imul |]
+  done;
+  (* dependent multiplies serialize at 3 cycles each *)
+  check_bool "latency-bound chain" true (!ready >= 300)
+
+let test_timing_port_contention () =
+  let t = Timing.create () in
+  (* fdiv is port-0 only with rt 8: 20 independent divides still serialize *)
+  for _ = 1 to 20 do
+    ignore (Timing.exec t ~ready:0 ~mem_lat:4 [| Cost.fdiv_u |])
+  done;
+  check_bool "port-0 throughput bound" true (Timing.cycle t >= 8 * 19)
+
+let test_timing_membus () =
+  let t = Timing.create () in
+  (* independent missing loads are bandwidth-limited by the memory pipe *)
+  for _ = 1 to 50 do
+    ignore (Timing.exec t ~ready:0 ~mem_lat:Cache.miss_latency [| Cost.load_u |])
+  done;
+  check_bool "bus-bound misses" true (Timing.cycle t >= Cost.membus_rt * 49)
+
+let test_timing_mispredict () =
+  let t = Timing.create () in
+  let before = Timing.cycle t in
+  Timing.mispredict t ~resolved:(before + 10);
+  check_bool "flush advances dispatch" true
+    (Timing.cycle t >= before + 10 + Cost.mispredict_penalty)
+
+(* ---- memory ---- *)
+
+let test_memory_rw () =
+  let m = Memory.create () in
+  let a = Memory.alloc_static m 64 in
+  Memory.write m ~width:8 a 0x1122334455667788L;
+  check_i64 "w8/r8" 0x1122334455667788L (Memory.read m ~width:8 a);
+  check_i64 "little endian byte" 0x88L (Memory.read m ~width:1 a);
+  Memory.write m ~width:2 (Int64.add a 16L) 0xABCDL;
+  check_i64 "w2/r2" 0xABCDL (Memory.read m ~width:2 (Int64.add a 16L))
+
+let test_memory_null_faults () =
+  let m = Memory.create () in
+  check_bool "null deref faults" true
+    (try
+       ignore (Memory.read m ~width:8 8L);
+       false
+     with Memory.Fault _ -> true);
+  check_bool "oob faults" true
+    (try
+       ignore (Memory.read m ~width:8 (Int64.of_int (m.Memory.size - 4)));
+       false
+     with Memory.Fault _ -> true)
+
+let test_malloc_free_reuse () =
+  let m = Memory.create () in
+  ignore (Memory.alloc_static m 128);
+  Memory.heap_init m ~stack_reserve:4096;
+  let a = Memory.malloc m 100 in
+  let b = Memory.malloc m 100 in
+  check_bool "distinct blocks" true (a <> b);
+  Memory.free m a 100;
+  let c = Memory.malloc m 50 in
+  check_bool "freed space reused" true (c = a)
+
+let test_stack_isolated_from_heap () =
+  let m = Memory.create () in
+  ignore (Memory.alloc_static m 64);
+  Memory.heap_init m ~stack_reserve:8192;
+  let s = Memory.alloc_stack m 4096 in
+  check_bool "stack above heap limit" true (Int64.to_int s >= m.Memory.heap_limit)
+
+let tests =
+  [
+    Alcotest.test_case "integer widths wrap" `Quick test_int_widths;
+    Alcotest.test_case "signed operations" `Quick test_signed_ops;
+    Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "float encode/decode" `Quick test_float_roundtrip;
+    Alcotest.test_case "casts" `Quick test_casts;
+    Alcotest.test_case "signed vs unsigned compare" `Quick test_icmp_unsigned;
+    Alcotest.test_case "cache: hit after miss" `Quick test_cache_hit_after_miss;
+    Alcotest.test_case "cache: next-line prefetch" `Quick test_cache_prefetch_next_line;
+    Alcotest.test_case "cache: capacity eviction" `Quick test_cache_capacity_eviction;
+    Alcotest.test_case "cache: LRU" `Quick test_cache_lru;
+    Alcotest.test_case "predictor learns loops" `Quick test_predictor_learns;
+    Alcotest.test_case "predictor vs noise" `Quick test_predictor_alternation_costs;
+    Alcotest.test_case "timing: 4-wide ILP" `Quick test_timing_ilp;
+    Alcotest.test_case "timing: dependency chain" `Quick test_timing_dependency_chain;
+    Alcotest.test_case "timing: port contention" `Quick test_timing_port_contention;
+    Alcotest.test_case "timing: memory bandwidth" `Quick test_timing_membus;
+    Alcotest.test_case "timing: mispredict flush" `Quick test_timing_mispredict;
+    Alcotest.test_case "memory: read/write" `Quick test_memory_rw;
+    Alcotest.test_case "memory: faults" `Quick test_memory_null_faults;
+    Alcotest.test_case "memory: malloc/free" `Quick test_malloc_free_reuse;
+    Alcotest.test_case "memory: stack isolation" `Quick test_stack_isolated_from_heap;
+  ]

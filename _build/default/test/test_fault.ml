@@ -1,0 +1,137 @@
+(* Fault-injection framework tests: classification, correction properties,
+   the window of vulnerability and its closure by future-AVX. *)
+
+let check_bool = Alcotest.(check bool)
+
+(* A hardened pure-compute kernel: parameters in, long register-only
+   computation, one output.  No loads inside the hardened region means no
+   extracted-address window: EVERY single-lane fault must be corrected or
+   masked — never an SDC, never a crash. *)
+let pure_compute_module () =
+  let m = Ir.Builder.create_module () in
+  let open Ir.Builder in
+  let b, ps = func m "kernel" [ ("x", Ir.Types.i64) ] ~ret:Ir.Types.i64 in
+  let x = match ps with [ p ] -> Ir.Instr.Reg p | _ -> assert false in
+  let acc = fresh b ~name:"acc" Ir.Types.i64 in
+  assign b acc x;
+  for_ b ~lo:(i64c 0) ~hi:(i64c 40) (fun i ->
+      let t = xor b (Reg acc) (shl b (Reg acc) (i64c 13)) in
+      let t2 = add b t (mul b i (i64c 0x9E37)) in
+      assign b acc (lshr b t2 (i64c 1)));
+  ret b (Some (Reg acc));
+  let b, _ = func m ~hardened:false "main" [ ("n", Ir.Types.i64) ] in
+  let r = callv b ~ret:Ir.Types.i64 "kernel" [ i64c 123456789 ] in
+  call0 b "output_i64" [ r ];
+  ret b None;
+  m
+
+let spec_of build =
+  Fault.make_spec (Elzar.prepare build (pure_compute_module ())) "main" ~args:[| 1L |]
+
+let test_pure_compute_always_protected () =
+  let spec = spec_of (Elzar.Hardened Elzar.Harden_config.default) in
+  let golden = Fault.golden spec in
+  let sites = golden.Cpu.Machine.inject_sites in
+  check_bool "has injection sites" true (sites > 100);
+  (* sweep a deterministic sample of injection points, lanes and bits *)
+  let bad = ref 0 and corrected = ref 0 in
+  for k = 0 to 80 do
+    let at = 1 + (k * 7 mod sites) in
+    let outcome =
+      Fault.inject_one spec ~golden ~at ~lane:(k mod 4) ~bit:((k * 11) mod 64)
+    in
+    match outcome with
+    | Fault.Elzar_corrected ->
+        incr corrected
+    | Fault.Masked -> ()
+    | Fault.Hang | Fault.Os_detected | Fault.Sdc -> incr bad
+  done;
+  (* the only unprotected dataflow is the single return-value extract
+     (the same window-of-vulnerability class as §V-C) *)
+  check_bool "at most the return-extract window leaks" true (!bad <= 2);
+  check_bool "some faults actively corrected" true (!corrected > 0)
+
+let test_native_is_vulnerable () =
+  let spec = spec_of Elzar.Native_novec in
+  let golden = Fault.golden spec in
+  let sites = golden.Cpu.Machine.inject_sites in
+  let sdc = ref 0 in
+  for k = 0 to 60 do
+    let at = 1 + (k * 5 mod sites) in
+    match Fault.inject_one spec ~golden ~at ~lane:0 ~bit:(k mod 64) with
+    | Fault.Sdc -> incr sdc
+    | _ -> ()
+  done;
+  check_bool "native suffers SDCs" true (!sdc > 5)
+
+let test_campaign_stats_consistent () =
+  let spec = spec_of (Elzar.Hardened Elzar.Harden_config.default) in
+  let s = Fault.campaign ~seed:7 ~n:40 spec in
+  Alcotest.(check int) "runs counted" 40 s.Fault.runs;
+  Alcotest.(check int) "outcomes partition runs" 40
+    (s.Fault.hang + s.Fault.os_detected + s.Fault.corrected + s.Fault.masked + s.Fault.sdc)
+
+let test_campaign_deterministic () =
+  let spec = spec_of (Elzar.Hardened Elzar.Harden_config.default) in
+  let a = Fault.campaign ~seed:13 ~n:25 spec in
+  let b = Fault.campaign ~seed:13 ~n:25 spec in
+  check_bool "same seed, same stats" true (a = b)
+
+(* The extended recovery handles every single-bit fault the basic one does. *)
+let test_extended_recovery () =
+  let spec =
+    spec_of
+      (Elzar.Hardened { Elzar.Harden_config.default with recovery = Elzar.Harden_config.Extended })
+  in
+  let golden = Fault.golden spec in
+  let sites = golden.Cpu.Machine.inject_sites in
+  let bad = ref 0 in
+  for k = 0 to 50 do
+    let at = 1 + (k * 13 mod sites) in
+    match Fault.inject_one spec ~golden ~at ~lane:(k mod 4) ~bit:((k * 3) mod 64) with
+    | Fault.Hang | Fault.Os_detected | Fault.Sdc -> incr bad
+    | Fault.Elzar_corrected | Fault.Masked -> ()
+  done;
+  check_bool "extended recovery: at most the return window leaks" true (!bad <= 2)
+
+(* In a load-heavy kernel the future-AVX gather mode closes the extracted
+   address window: corrected faults still occur, via the FPGA-style vote. *)
+let test_future_avx_corrects () =
+  let m = Ir.Builder.create_module () in
+  Ir.Builder.global m "a" 512;
+  let open Ir.Builder in
+  let b, _ = func m "kernel" [] ~ret:Ir.Types.i64 in
+  let acc = fresh b ~name:"acc" Ir.Types.i64 in
+  assign b acc (i64c 0);
+  for_ b ~lo:(i64c 0) ~hi:(i64c 60) (fun i ->
+      let v = load b Ir.Types.i64 (gep b (Ir.Instr.Glob "a") (and_ b i (i64c 63)) 8) in
+      assign b acc (add b (Reg acc) v));
+  ret b (Some (Reg acc));
+  let b, _ = func m ~hardened:false "main" [ ("n", Ir.Types.i64) ] in
+  let r = callv b ~ret:Ir.Types.i64 "kernel" [] in
+  call0 b "output_i64" [ r ];
+  ret b None;
+  let spec =
+    Fault.make_spec (Elzar.prepare (Elzar.Hardened Elzar.Harden_config.future_avx) m) "main"
+      ~args:[| 1L |]
+  in
+  let golden = Fault.golden spec in
+  let sites = golden.Cpu.Machine.inject_sites in
+  let bad = ref 0 in
+  for k = 0 to 60 do
+    let at = 1 + (k * 3 mod sites) in
+    match Fault.inject_one spec ~golden ~at ~lane:(k mod 4) ~bit:((k * 7) mod 64) with
+    | Fault.Sdc -> incr bad
+    | _ -> ()
+  done;
+  check_bool "gather mode: almost no SDCs" true (!bad <= 2)
+
+let tests =
+  [
+    Alcotest.test_case "pure compute fully protected" `Slow test_pure_compute_always_protected;
+    Alcotest.test_case "native is vulnerable" `Quick test_native_is_vulnerable;
+    Alcotest.test_case "campaign stats partition" `Quick test_campaign_stats_consistent;
+    Alcotest.test_case "campaign determinism" `Quick test_campaign_deterministic;
+    Alcotest.test_case "extended recovery" `Slow test_extended_recovery;
+    Alcotest.test_case "future-AVX closes the window" `Slow test_future_avx_corrects;
+  ]

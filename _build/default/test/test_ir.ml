@@ -1,0 +1,244 @@
+(* Unit tests of the IR layer: types, builder, printer, verifier. *)
+
+open Ir
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---- types ---- *)
+
+let test_type_sizes () =
+  check_int "i1 bits" 1 (Types.bits Types.I1);
+  check_int "i8 bytes" 1 (Types.bytes Types.I8);
+  check_int "i16 bytes" 2 (Types.bytes Types.I16);
+  check_int "f32 bits" 32 (Types.bits Types.F32);
+  check_int "ptr bytes" 8 (Types.bytes Types.Ptr);
+  check_int "ymm lanes i8" 32 (Types.ymm_lanes Types.I8);
+  check_int "ymm lanes i32" 8 (Types.ymm_lanes Types.I32);
+  check_int "ymm lanes f64" 4 (Types.ymm_lanes Types.F64);
+  (* booleans live as 64-bit mask lanes *)
+  check_bool "ymm of i1" true (Types.ymm_of Types.I1 = Types.Vector (Types.I64, 4))
+
+let test_mask_elem () =
+  check_bool "mask of f32 is i32" true (Types.mask_elem Types.F32 = Types.I32);
+  check_bool "mask of ptr is i64" true (Types.mask_elem Types.Ptr = Types.I64);
+  check_bool "mask of i16 is i16" true (Types.mask_elem Types.I16 = Types.I16)
+
+let test_type_printing () =
+  check_string "vector type" "<4 x i64>" (Types.to_string (Types.Vector (Types.I64, 4)));
+  check_string "scalar" "f32" (Types.to_string Types.f32)
+
+(* ---- builder ---- *)
+
+let build_simple () =
+  let m = Builder.create_module () in
+  let b, ps = Builder.func m "f" [ ("x", Types.i64) ] ~ret:Types.i64 in
+  let x = match ps with [ p ] -> Instr.Reg p | _ -> assert false in
+  let open Builder in
+  let y = add b x (i64c 1) in
+  ret b (Some y);
+  m
+
+let test_builder_basics () =
+  let m = build_simple () in
+  let f = Option.get (Instr.find_func m "f") in
+  check_int "one block" 1 (List.length f.Instr.blocks);
+  check_int "one instr" 1 (List.length (snd (List.hd f.Instr.blocks)).Instr.instrs);
+  check_bool "verifies" true (Verifier.verify m = Ok ())
+
+let test_builder_loop_metadata () =
+  let m = Builder.create_module () in
+  let b, _ = Builder.func m "f" [] in
+  let open Builder in
+  for_ b ~lo:(i64c 0) ~hi:(i64c 10) (fun _ -> ());
+  ret b None;
+  let f = Option.get (Instr.find_func m "f") in
+  check_int "loop recorded" 1 (List.length f.Instr.loops);
+  let li = List.hd f.Instr.loops in
+  check_bool "bounds recorded" true
+    (li.Instr.l_lo = Instr.Imm (Types.i64, 0L) && li.Instr.l_hi = Instr.Imm (Types.i64, 10L))
+
+let test_if_else () =
+  let m = Builder.create_module () in
+  let b, ps = Builder.func m "f" [ ("x", Types.i64) ] ~ret:Types.i64 in
+  let x = match ps with [ p ] -> Instr.Reg p | _ -> assert false in
+  let open Builder in
+  let r = fresh b Types.i64 in
+  if_ b
+    (icmp b Instr.Isgt x (i64c 0))
+    ~then_:(fun () -> assign b r x)
+    ~else_:(fun () -> assign b r (sub b (i64c 0) x))
+    ();
+  ret b (Some (Instr.Reg r));
+  Verifier.verify_exn m;
+  let run v =
+    let r = Cpu.Machine.run_module m "f" ~args:[| v |] in
+    check_bool "no trap" true (r.Cpu.Machine.trap = None);
+    r
+  in
+  ignore (run 5L);
+  ignore (run (-5L))
+
+(* ---- verifier rejections ---- *)
+
+let ill_formed mk =
+  let m = Builder.create_module () in
+  mk m;
+  match Verifier.verify m with Ok () -> false | Error _ -> true
+
+let test_verifier_type_mismatch () =
+  check_bool "i32 + i64 rejected" true
+    (ill_formed (fun m ->
+         let b, _ = Builder.func m "f" [] in
+         let r = Builder.fresh b Types.i64 in
+         Builder.emit b (Instr.Binop (r, Instr.Add, Builder.i32c 1, Builder.i64c 2));
+         Builder.ret b None))
+
+let test_verifier_bad_branch () =
+  check_bool "branch to unknown label rejected" true
+    (ill_formed (fun m ->
+         let b, _ = Builder.func m "f" [] in
+         Builder.br b "nowhere"))
+
+let test_verifier_bad_arity () =
+  check_bool "wrong call arity rejected" true
+    (ill_formed (fun m ->
+         let b, _ = Builder.func m "callee" [ ("x", Types.i64) ] in
+         Builder.ret b None;
+         let b2, _ = Builder.func m "f" [] in
+         Builder.call0 b2 "callee" [];
+         Builder.ret b2 None))
+
+let test_verifier_float_arith_on_int () =
+  check_bool "fadd on ints rejected" true
+    (ill_formed (fun m ->
+         let b, _ = Builder.func m "f" [] in
+         let r = Builder.fresh b Types.i64 in
+         Builder.emit b (Instr.Fbinop (r, Instr.Fadd, Builder.i64c 1, Builder.i64c 2));
+         Builder.ret b None))
+
+let test_verifier_allows_float_xor () =
+  (* bitwise ops on float vectors are the basis of the shuffle-xor check *)
+  let m = Builder.create_module () in
+  let b, _ = Builder.func m "f" [] in
+  let vty = Types.Vector (Types.F64, 4) in
+  let v = Builder.fresh b vty in
+  Builder.emit b (Instr.Mov (v, Instr.Fimm (vty, 1.5)));
+  let x = Builder.fresh b vty in
+  Builder.emit b (Instr.Binop (x, Instr.Xor, Instr.Reg v, Instr.Reg v));
+  Builder.ret b None;
+  check_bool "float xor ok" true (Verifier.verify m = Ok ())
+
+let test_verifier_shuffle_bounds () =
+  check_bool "out-of-range shuffle rejected" true
+    (ill_formed (fun m ->
+         let b, _ = Builder.func m "f" [] in
+         let vty = Types.Vector (Types.I64, 4) in
+         let v = Builder.fresh b vty in
+         Builder.emit b (Instr.Mov (v, Instr.Imm (vty, 0L)));
+         let s = Builder.fresh b vty in
+         Builder.emit b (Instr.Shuffle (s, Instr.Reg v, [| 0; 1; 2; 7 |]));
+         Builder.ret b None))
+
+let test_verifier_duplicate_symbol () =
+  let mk () =
+    let m = Builder.create_module () in
+    let b, _ = Builder.func m "f" [] in
+    Builder.ret b None;
+    m
+  in
+  check_bool "duplicate function rejected" true
+    (try
+       ignore (Linker.link [ mk (); mk () ]);
+       false
+     with Linker.Duplicate_symbol _ -> true)
+
+(* ---- printer ---- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_printer_roundtrip_stability () =
+  let m = build_simple () in
+  let s1 = Printer.modul_to_string m in
+  let s2 = Printer.modul_to_string m in
+  check_string "printing is deterministic" s1 s2;
+  check_bool "mentions function" true (contains s1 "@f");
+  check_bool "mentions add" true (contains s1 "add")
+
+let tests =
+  [
+    Alcotest.test_case "type sizes" `Quick test_type_sizes;
+    Alcotest.test_case "mask elements" `Quick test_mask_elem;
+    Alcotest.test_case "type printing" `Quick test_type_printing;
+    Alcotest.test_case "builder basics" `Quick test_builder_basics;
+    Alcotest.test_case "loop metadata" `Quick test_builder_loop_metadata;
+    Alcotest.test_case "if/else" `Quick test_if_else;
+    Alcotest.test_case "verifier: type mismatch" `Quick test_verifier_type_mismatch;
+    Alcotest.test_case "verifier: bad branch" `Quick test_verifier_bad_branch;
+    Alcotest.test_case "verifier: bad arity" `Quick test_verifier_bad_arity;
+    Alcotest.test_case "verifier: fadd on ints" `Quick test_verifier_float_arith_on_int;
+    Alcotest.test_case "verifier: float xor ok" `Quick test_verifier_allows_float_xor;
+    Alcotest.test_case "verifier: shuffle bounds" `Quick test_verifier_shuffle_bounds;
+    Alcotest.test_case "linker: duplicate symbol" `Quick test_verifier_duplicate_symbol;
+  ]
+
+(* ---- parser round trips ---- *)
+
+let roundtrip m =
+  let s1 = Printer.modul_to_string m in
+  let m2 = Parser.parse s1 in
+  let s2 = Printer.modul_to_string m2 in
+  check_string "print/parse/print fixpoint" s1 s2;
+  (match Verifier.verify m2 with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "parsed module ill-formed: %s" (String.concat "; " es))
+
+let test_parser_roundtrip_simple () = roundtrip (build_simple ())
+
+let test_parser_roundtrip_workload () =
+  let m = (Workloads.Registry.find "linreg").Workloads.Workload.build Workloads.Workload.Tiny in
+  roundtrip m
+
+let test_parser_roundtrip_hardened () =
+  let m = (Workloads.Registry.find "wc").Workloads.Workload.build Workloads.Workload.Tiny in
+  roundtrip (Elzar.prepare (Elzar.Hardened Elzar.Harden_config.default) m);
+  roundtrip (Elzar.prepare Elzar.Swiftr m);
+  roundtrip (Elzar.prepare (Elzar.Hardened Elzar.Harden_config.future_avx) m)
+
+let test_parser_roundtrip_vectorized () =
+  let m = (Workloads.Registry.find "smatch").Workloads.Workload.build Workloads.Workload.Tiny in
+  roundtrip (Elzar.prepare Elzar.Native m)
+
+let test_parsed_module_runs () =
+  let m = build_simple () in
+  (* wrap in a runnable main *)
+  let b, _ = Builder.func m ~hardened:false "main" [ ("n", Types.i64) ] in
+  let r = Builder.callv b ~ret:Types.i64 "f" [ Builder.i64c 41 ] in
+  Builder.call0 b "output_i64" [ r ];
+  Builder.ret b None;
+  let m2 = Parser.parse (Printer.modul_to_string m) in
+  let out1 = (Cpu.Machine.run_module m "main" ~args:[| 0L |]).Cpu.Machine.output_bytes in
+  let out2 = (Cpu.Machine.run_module m2 "main" ~args:[| 0L |]).Cpu.Machine.output_bytes in
+  check_string "parsed module computes the same" out1 out2
+
+let test_parser_rejects_garbage () =
+  check_bool "bad input raises" true
+    (try
+       ignore (Parser.parse "define banana @f() {\nentry:\n  ret void\n}");
+       false
+     with Parser.Parse_error _ -> true)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "parser: roundtrip simple" `Quick test_parser_roundtrip_simple;
+      Alcotest.test_case "parser: roundtrip workload" `Quick test_parser_roundtrip_workload;
+      Alcotest.test_case "parser: roundtrip hardened" `Quick test_parser_roundtrip_hardened;
+      Alcotest.test_case "parser: roundtrip vectorized" `Quick test_parser_roundtrip_vectorized;
+      Alcotest.test_case "parser: parsed module runs" `Quick test_parsed_module_runs;
+      Alcotest.test_case "parser: rejects garbage" `Quick test_parser_rejects_garbage;
+    ]

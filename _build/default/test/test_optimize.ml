@@ -1,0 +1,184 @@
+(* Unit tests of the scalar optimizer. *)
+
+open Ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let count_instrs (f : Instr.func) =
+  List.fold_left (fun a (_, (b : Instr.block)) -> a + List.length b.Instr.instrs) 0 f.Instr.blocks
+
+let with_func mk =
+  let m = Builder.create_module () in
+  Builder.global m "g" 64;
+  let b, ps = Builder.func m "f" [ ("x", Types.i64) ] ~ret:Types.i64 in
+  let x = match ps with [ p ] -> Instr.Reg p | _ -> assert false in
+  mk b x;
+  (m, Option.get (Instr.find_func m "f"))
+
+let test_constant_folding () =
+  let m, f =
+    with_func (fun b x ->
+        let open Builder in
+        (* (2+3)*4 folds to 20 *)
+        let c = mul b (add b (i64c 2) (i64c 3)) (i64c 4) in
+        ret b (Some (add b x c)))
+  in
+  ignore (Elzar.Optimize.run m);
+  Verifier.verify_exn m;
+  let has_imm20 =
+    List.exists
+      (fun (_, (blk : Instr.block)) ->
+        List.exists
+          (function
+            | Instr.Binop (_, Instr.Add, _, Instr.Imm (_, 20L))
+            | Instr.Binop (_, Instr.Add, Instr.Imm (_, 20L), _) ->
+                true
+            | _ -> false)
+          blk.Instr.instrs)
+      f.Instr.blocks
+  in
+  check_bool "constant chain folded to 20" true has_imm20
+
+let test_dce_removes_unused () =
+  let m, f =
+    with_func (fun b x ->
+        let open Builder in
+        ignore (mul b x (i64c 3));  (* dead *)
+        ignore (xor b x (i64c 5));  (* dead *)
+        ret b (Some x))
+  in
+  ignore (Elzar.Optimize.run m);
+  check_int "dead instructions removed" 0 (count_instrs f)
+
+let test_dce_keeps_effects () =
+  let m, f =
+    with_func (fun b x ->
+        let open Builder in
+        ignore (load b Types.i64 (Instr.Glob "g"));  (* result unused, but a load *)
+        store b x (Instr.Glob "g");
+        call0 b "output_i64" [ x ];
+        ret b (Some x))
+  in
+  ignore (Elzar.Optimize.run m);
+  check_int "loads/stores/calls kept" 3 (count_instrs f)
+
+let test_cse_merges () =
+  let m, f =
+    with_func (fun b x ->
+        let open Builder in
+        let a1 = add b x (i64c 7) in
+        let a2 = add b x (i64c 7) in
+        (* both used: the second collapses to a copy of the first and then
+           propagates away *)
+        ret b (Some (mul b a1 a2)))
+  in
+  ignore (Elzar.Optimize.run m);
+  Verifier.verify_exn m;
+  check_int "one add + one mul remain" 2 (count_instrs f)
+
+let test_cse_respects_redefinition () =
+  let m, _ =
+    with_func (fun b x ->
+        let open Builder in
+        let acc = fresh b ~name:"acc" Types.i64 in
+        assign b acc x;
+        let a1 = add b (Instr.Reg acc) (i64c 1) in
+        assign b acc a1;
+        (* not the same value: acc changed in between *)
+        let a2 = add b (Instr.Reg acc) (i64c 1) in
+        ret b (Some a2))
+  in
+  ignore (Elzar.Optimize.run m);
+  Verifier.verify_exn m;
+  let r = Cpu.Machine.run_module m "f" ~args:[| 10L |] in
+  check_bool "no trap" true (r.Cpu.Machine.trap = None)
+
+let test_copyprop_through_mov () =
+  let m, f =
+    with_func (fun b x ->
+        let open Builder in
+        let t = mov b x in
+        let u = mov b t in
+        ret b (Some (add b u (i64c 1))))
+  in
+  ignore (Elzar.Optimize.run m);
+  check_int "mov chain collapsed" 1 (count_instrs f)
+
+(* the optimizer must preserve semantics on every workload (cheap smoke on
+   top of the full differential property suite) *)
+let test_semantics_preserved () =
+  let w = Workloads.Registry.find "wc" in
+  let m = w.Workloads.Workload.build Workloads.Workload.Tiny in
+  let raw = Ir.Linker.copy m in
+  let opt = Ir.Linker.copy m in
+  let stats = Elzar.Optimize.run opt in
+  check_bool "optimizer did something" true
+    (stats.Elzar.Optimize.dce_removed + stats.Elzar.Optimize.cse_hits
+     + stats.Elzar.Optimize.propagated + stats.Elzar.Optimize.folded
+    > 0);
+  Verifier.verify_exn opt;
+  let run mm =
+    let machine = Cpu.Machine.create mm in
+    w.Workloads.Workload.init Workloads.Workload.Tiny machine;
+    (Cpu.Machine.run ~args:[| 2L |] machine "main").Cpu.Machine.output_bytes
+  in
+  Alcotest.(check string) "same output" (run raw) (run opt)
+
+let tests =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "DCE removes unused" `Quick test_dce_removes_unused;
+    Alcotest.test_case "DCE keeps effects" `Quick test_dce_keeps_effects;
+    Alcotest.test_case "CSE merges duplicates" `Quick test_cse_merges;
+    Alcotest.test_case "CSE respects redefinition" `Quick test_cse_respects_redefinition;
+    Alcotest.test_case "copy propagation" `Quick test_copyprop_through_mov;
+    Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+  ]
+
+let test_licm_hoists () =
+  let m = Builder.create_module () in
+  Builder.global m "g" 64;
+  let b, ps = Builder.func m "f" [ ("x", Types.i64) ] ~ret:Types.i64 in
+  let x = match ps with [ p ] -> Instr.Reg p | _ -> assert false in
+  let open Builder in
+  let acc = fresh b ~name:"acc" Types.i64 in
+  assign b acc (i64c 0);
+  for_ b ~lo:(i64c 0) ~hi:(i64c 50) (fun i ->
+      (* x*13+5 is loop-invariant; i*x is not *)
+      let inv = add b (mul b x (i64c 13)) (i64c 5) in
+      assign b acc (add b (Instr.Reg acc) (add b inv (mul b i x))));
+  ret b (Some (Instr.Reg acc));
+  Verifier.verify_exn m;
+  let f = Option.get (Instr.find_func m "f") in
+  (* dependent invariants hoist across successive sweeps *)
+  let hoisted = Elzar.Optimize.licm f + Elzar.Optimize.licm f in
+  Verifier.verify_exn m;
+  check_bool "hoisted the invariant chain" true (hoisted >= 2);
+  (* and semantics are intact *)
+  let r = Cpu.Machine.run_module m "f" ~args:[| 3L |] in
+  check_bool "no trap" true (r.Cpu.Machine.trap = None)
+
+let test_licm_leaves_divisions () =
+  let m = Builder.create_module () in
+  let b, ps = Builder.func m "f" [ ("x", Types.i64) ] ~ret:Types.i64 in
+  let x = match ps with [ p ] -> Instr.Reg p | _ -> assert false in
+  let open Builder in
+  let acc = fresh b ~name:"acc" Types.i64 in
+  assign b acc (i64c 0);
+  (* zero-trip loop containing a division by x (= 0 at runtime): hoisting
+     it would introduce a trap the original never has *)
+  for_ b ~lo:(i64c 5) ~hi:(i64c 5) (fun _ ->
+      assign b acc (sdiv b (i64c 100) x));
+  ret b (Some (Instr.Reg acc));
+  Verifier.verify_exn m;
+  ignore (Elzar.Optimize.run m);
+  let r = Cpu.Machine.run_module m "f" ~args:[| 0L |] in
+  check_bool "division not speculated" true (r.Cpu.Machine.trap = None)
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "LICM hoists invariants" `Quick test_licm_hoists;
+      Alcotest.test_case "LICM never speculates divisions" `Quick test_licm_leaves_divisions;
+    ]

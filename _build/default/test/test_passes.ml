@@ -1,0 +1,253 @@
+(* Structural tests of the transformation passes: the ELZAR pass emits the
+   shapes the paper describes (vector branches, shuffle-xor-ptest checks,
+   out-of-line recovery), SWIFT-R triplicates, the vectorizer accepts and
+   rejects the right loops. *)
+
+open Ir
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a small hardened function with a loop, loads and stores *)
+let sample_module () =
+  let m = Builder.create_module () in
+  Builder.global m "buf" 1024;
+  let open Builder in
+  let b, _ = func m "main" [] in
+  let acc = fresh b ~name:"acc" Types.i64 in
+  assign b acc (i64c 0);
+  for_ b ~lo:(i64c 0) ~hi:(i64c 64) (fun i ->
+      let v = load b Types.i64 (gep b (Glob "buf") i 8) in
+      assign b acc (add b (Reg acc) v);
+      store b (Reg acc) (gep b (Glob "buf") i 8));
+  call0 b "output_i64" [ Reg acc ];
+  ret b None;
+  m
+
+let func_of m name = Option.get (Instr.find_func m name)
+
+let count_instrs p (f : Instr.func) =
+  List.fold_left
+    (fun acc (_, (blk : Instr.block)) ->
+      acc + List.length (List.filter p blk.Instr.instrs))
+    0 f.Instr.blocks
+
+let count_terms p (f : Instr.func) =
+  List.length (List.filter (fun (_, (blk : Instr.block)) -> p blk.Instr.term) f.Instr.blocks)
+
+let is_shuffle = function Instr.Shuffle _ -> true | _ -> false
+let is_ptest = function Instr.Ptestz _ -> true | _ -> false
+let is_broadcast = function Instr.Broadcast _ -> true | _ -> false
+let is_extract = function Instr.Extractlane _ -> true | _ -> false
+let is_gather = function Instr.Gather _ -> true | _ -> false
+let is_scatter = function Instr.Scatter _ -> true | _ -> false
+let is_vbr = function Instr.Vbr _ -> true | _ -> false
+let is_vbr_unchecked = function Instr.Vbr_unchecked _ -> true | _ -> false
+
+let test_elzar_shapes () =
+  let m = Elzar.prepare (Elzar.Hardened Elzar.Harden_config.default) (sample_module ()) in
+  let f = func_of m "main" in
+  check_bool "has vector branches" true (count_terms is_vbr f > 0);
+  check_bool "has checks (shuffle)" true (count_instrs is_shuffle f > 0);
+  check_bool "has checks (ptest)" true (count_instrs is_ptest f > 0);
+  check_bool "wraps loads (broadcast)" true (count_instrs is_broadcast f > 0);
+  check_bool "wraps sync ops (extract)" true (count_instrs is_extract f > 0);
+  check_bool "has recovery blocks" true
+    (List.exists
+       (fun (l, (blk : Instr.block)) ->
+         String.length l >= 5
+         && String.sub l 0 2 = "z."
+         && List.exists
+              (function Instr.Call (_, "elzar_recovered", _) -> true | _ -> false)
+              blk.Instr.instrs)
+       f.Instr.blocks)
+
+let test_elzar_no_checks () =
+  let m = Elzar.prepare (Elzar.Hardened Elzar.Harden_config.no_checks) (sample_module ()) in
+  let f = func_of m "main" in
+  check_int "no shuffle checks" 0 (count_instrs is_shuffle f);
+  check_int "no ptest" 0 (count_instrs is_ptest f);
+  check_bool "branches become unchecked vbr" true (count_terms is_vbr_unchecked f > 0);
+  check_int "no checked vbr" 0 (count_terms is_vbr f);
+  check_bool "wrappers remain" true (count_instrs is_broadcast f > 0)
+
+let test_elzar_future_avx () =
+  let m = Elzar.prepare (Elzar.Hardened Elzar.Harden_config.future_avx) (sample_module ()) in
+  let f = func_of m "main" in
+  check_bool "loads become gathers" true (count_instrs is_gather f > 0);
+  check_bool "stores become scatters" true (count_instrs is_scatter f > 0);
+  check_int "no load wrappers left" 0
+    (count_instrs (function Instr.Load _ -> true | _ -> false) f)
+
+let test_elzar_leaves_unhardened_alone () =
+  let m0 = sample_module () in
+  (* add an unhardened library function *)
+  let open Builder in
+  let b, ps = func m0 ~hardened:false "lib" [ ("x", Types.i64) ] ~ret:Types.i64 in
+  let x = match ps with [ p ] -> Instr.Reg p | _ -> assert false in
+  ret b (Some (add b x (i64c 1)));
+  let before = Printer.func_to_string (func_of m0 "lib") in
+  let m = Elzar.prepare (Elzar.Hardened Elzar.Harden_config.default) m0 in
+  Alcotest.(check string) "unhardened untouched" before (Printer.func_to_string (func_of m "lib"))
+
+let test_swiftr_triplication () =
+  let m0 = sample_module () in
+  let m = Elzar.prepare Elzar.Swiftr m0 in
+  let n0 = count_instrs (fun _ -> true) (func_of m0 "main") in
+  let n = count_instrs (fun _ -> true) (func_of m "main") in
+  check_bool "instructions at least doubled" true (n > 2 * n0);
+  check_int "no vector code in SWIFT-R" 0
+    (count_instrs (fun i -> Cpu.Cost.is_avx i) (func_of m "main"))
+
+let test_swiftr_votes_before_stores () =
+  let m = Elzar.prepare Elzar.Swiftr (sample_module ()) in
+  let f = func_of m "main" in
+  check_bool "has selects (majority voting)" true
+    (count_instrs (function Instr.Select _ -> true | _ -> false) f > 0)
+
+(* ---- vectorizer ---- *)
+
+let loop_module mk =
+  let m = Builder.create_module () in
+  Builder.global m "a" 2048;
+  Builder.global m "b2" 2048;
+  let b, _ = Builder.func m "main" [] in
+  mk b;
+  Builder.ret b None;
+  m
+
+let vec_count m = Elzar.Vectorize.run m
+
+let test_vectorize_sum () =
+  let m =
+    loop_module (fun b ->
+        let open Builder in
+        let acc = fresh b ~name:"acc" Types.i64 in
+        assign b acc (i64c 0);
+        for_ b ~lo:(i64c 0) ~hi:(i64c 100) (fun i ->
+            let v = load b Types.i64 (gep b (Glob "a") i 8) in
+            assign b acc (add b (Reg acc) v));
+        call0 b "output_i64" [ Reg acc ])
+  in
+  check_int "sum loop vectorized" 1 (vec_count m);
+  Verifier.verify_exn m
+
+let test_vectorize_rejects_strided () =
+  let m =
+    loop_module (fun b ->
+        let open Builder in
+        let acc = fresh b ~name:"acc" Types.i64 in
+        assign b acc (i64c 0);
+        for_ b ~lo:(i64c 0) ~hi:(i64c 100) (fun i ->
+            let v = load b Types.i64 (gep b (Glob "a") (mul b i (i64c 2)) 8) in
+            assign b acc (add b (Reg acc) v)))
+  in
+  check_int "strided load rejected" 0 (vec_count m)
+
+let test_vectorize_rejects_fp_reduction () =
+  let m =
+    loop_module (fun b ->
+        let open Builder in
+        let acc = fresh b ~name:"acc" Types.f64 in
+        assign b acc (f64c 0.0);
+        for_ b ~lo:(i64c 0) ~hi:(i64c 100) (fun i ->
+            let v = load b Types.f64 (gep b (Glob "a") i 8) in
+            assign b acc (fadd b (Reg acc) v)))
+  in
+  check_int "FP reduction rejected (strict IEEE)" 0 (vec_count m)
+
+let test_vectorize_rejects_loop_carried () =
+  let m =
+    loop_module (fun b ->
+        let open Builder in
+        let prev = fresh b ~name:"prev" Types.i64 in
+        assign b prev (i64c 0);
+        for_ b ~lo:(i64c 0) ~hi:(i64c 100) (fun i ->
+            let v = load b Types.i64 (gep b (Glob "a") i 8) in
+            (* uses prev from the previous iteration, then redefines it *)
+            store b (add b v (Reg prev)) (gep b (Glob "b2") i 8);
+            assign b prev v))
+  in
+  check_int "loop-carried dependence rejected" 0 (vec_count m)
+
+let test_vectorize_rejects_calls () =
+  let m =
+    loop_module (fun b ->
+        let open Builder in
+        for_ b ~lo:(i64c 0) ~hi:(i64c 100) (fun i -> call0 b "output_i64" [ i ]))
+  in
+  check_int "call in body rejected" 0 (vec_count m)
+
+let test_vectorize_remainder_correct () =
+  (* n = 103 is not a multiple of 4: vector loop + scalar remainder *)
+  let mk n =
+    let m = Builder.create_module () in
+    Builder.global m "a" 1024;
+    let b, _ = Builder.func m "main" [] in
+    let open Builder in
+    for_ b ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+        store b (mul b i (i64c 7)) (gep b (Glob "a") i 8));
+    let acc = fresh b ~name:"acc" Types.i64 in
+    assign b acc (i64c 0);
+    for_ b ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+        let v = load b Types.i64 (gep b (Glob "a") i 8) in
+        assign b acc (add b (Reg acc) (xor b v i)));
+    call0 b "output_i64" [ Reg acc ];
+    ret b None;
+    m
+  in
+  let m = mk 103 in
+  let plain = Cpu.Machine.run_module (Elzar.prepare Elzar.Native_novec m) "main" in
+  let vectorized = Elzar.prepare Elzar.Native m in
+  Verifier.verify_exn vectorized;
+  let v = Cpu.Machine.run_module vectorized "main" in
+  Alcotest.(check string)
+    "same output with remainder" plain.Cpu.Machine.output_bytes v.Cpu.Machine.output_bytes;
+  check_bool "vector build uses AVX" true (v.Cpu.Machine.totals.Cpu.Counters.avx_instrs > 0)
+
+(* floats-only mode protects floats but leaves integers scalar *)
+let test_floats_only_partition () =
+  let m0 = Builder.create_module () in
+  Builder.global m0 "a" 1024;
+  let open Builder in
+  let b, _ = func m0 "main" [] in
+  let facc = fresh b ~name:"facc" Types.f64 in
+  assign b facc (f64c 0.0);
+  let iacc = fresh b ~name:"iacc" Types.i64 in
+  assign b iacc (i64c 0);
+  for_ b ~lo:(i64c 0) ~hi:(i64c 50) (fun i ->
+      let v = load b Types.f64 (gep b (Glob "a") i 8) in
+      assign b facc (fadd b (Reg facc) v);
+      assign b iacc (add b (Reg iacc) i));
+  call0 b "output_f64" [ Reg facc ];
+  call0 b "output_i64" [ Reg iacc ];
+  ret b None;
+  let m = Elzar.prepare (Elzar.Hardened Elzar.Harden_config.floats_only) m0 in
+  let f = func_of m "main" in
+  let vector_int_binop = function
+    | Instr.Binop (r, Instr.Add, _, _) -> Types.is_vector r.Instr.rty
+    | _ -> false
+  in
+  let vector_float_op = function
+    | Instr.Fbinop (r, _, _, _) -> Types.is_vector r.Instr.rty
+    | _ -> false
+  in
+  check_int "integer adds stay scalar" 0 (count_instrs vector_int_binop f);
+  check_bool "float ops vectorized" true (count_instrs vector_float_op f > 0)
+
+let tests =
+  [
+    Alcotest.test_case "elzar: shapes" `Quick test_elzar_shapes;
+    Alcotest.test_case "elzar: no-checks config" `Quick test_elzar_no_checks;
+    Alcotest.test_case "elzar: future AVX" `Quick test_elzar_future_avx;
+    Alcotest.test_case "elzar: unhardened untouched" `Quick test_elzar_leaves_unhardened_alone;
+    Alcotest.test_case "swiftr: triplication" `Quick test_swiftr_triplication;
+    Alcotest.test_case "swiftr: voting" `Quick test_swiftr_votes_before_stores;
+    Alcotest.test_case "vectorize: sum loop" `Quick test_vectorize_sum;
+    Alcotest.test_case "vectorize: rejects strided" `Quick test_vectorize_rejects_strided;
+    Alcotest.test_case "vectorize: rejects FP reduction" `Quick test_vectorize_rejects_fp_reduction;
+    Alcotest.test_case "vectorize: rejects loop-carried" `Quick test_vectorize_rejects_loop_carried;
+    Alcotest.test_case "vectorize: rejects calls" `Quick test_vectorize_rejects_calls;
+    Alcotest.test_case "vectorize: remainder" `Quick test_vectorize_remainder_correct;
+    Alcotest.test_case "floats-only partition" `Quick test_floats_only_partition;
+  ]

@@ -1,0 +1,146 @@
+(* Tests of the IR runtime library (memcpy/memset/bzero/memcmp) and the
+   inline libm kernels (exp/ln/sqrt/cndf accuracy). *)
+
+open Ir
+
+let check_bool = Alcotest.(check bool)
+
+let run_mem_program mk =
+  let m = Builder.create_module () in
+  Builder.global m "src" 256;
+  Builder.global m "dst" 256;
+  let b, _ = Builder.func m ~hardened:false "main" [ ("n", Types.i64) ] in
+  mk b;
+  Builder.ret b None;
+  let m = Workloads.Rtlib.link m in
+  Verifier.verify_exn m;
+  let machine = Cpu.Machine.create m in
+  let base = Cpu.Machine.global_addr machine "src" in
+  for i = 0 to 255 do
+    Cpu.Memory.write machine.Cpu.Machine.mem ~width:1
+      (Int64.add base (Int64.of_int i))
+      (Int64.of_int ((i * 7) land 0xFF))
+  done;
+  let r = Cpu.Machine.run ~args:[| 0L |] machine "main" in
+  check_bool "no trap" true (r.Cpu.Machine.trap = None);
+  (machine, r)
+
+let read_dst machine i =
+  Cpu.Memory.read machine.Cpu.Machine.mem ~width:1
+    (Int64.add (Cpu.Machine.global_addr machine "dst") (Int64.of_int i))
+
+let test_memcpy () =
+  (* odd length exercises the byte tail *)
+  let machine, _ =
+    run_mem_program (fun b ->
+        Builder.call0 b "memcpy" [ Instr.Glob "dst"; Instr.Glob "src"; Builder.i64c 203 ])
+  in
+  let ok = ref true in
+  for i = 0 to 202 do
+    if read_dst machine i <> Int64.of_int ((i * 7) land 0xFF) then ok := false
+  done;
+  check_bool "copied exactly" true !ok;
+  check_bool "byte past the end untouched" true (read_dst machine 203 = 0L)
+
+let test_memset_bzero () =
+  let machine, _ =
+    run_mem_program (fun b ->
+        Builder.call0 b "memset" [ Instr.Glob "dst"; Builder.i64c 0xAB; Builder.i64c 77 ];
+        Builder.call0 b "bzero"
+          [ Builder.gep b (Instr.Glob "dst") (Builder.i64c 10) 1; Builder.i64c 13 ])
+  in
+  check_bool "memset wrote" true (read_dst machine 0 = 0xABL && read_dst machine 76 = 0xABL);
+  check_bool "bzero cleared middle" true (read_dst machine 10 = 0L && read_dst machine 22 = 0L);
+  check_bool "bzero bounded" true (read_dst machine 9 = 0xABL && read_dst machine 23 = 0xABL)
+
+let test_memcmp () =
+  let machine, r =
+    run_mem_program (fun b ->
+        Builder.call0 b "memcpy" [ Instr.Glob "dst"; Instr.Glob "src"; Builder.i64c 64 ];
+        let eq =
+          Builder.callv b ~ret:Types.i64 "memcmp"
+            [ Instr.Glob "dst"; Instr.Glob "src"; Builder.i64c 64 ]
+        in
+        Builder.call0 b "output_i64" [ eq ];
+        (* perturb one byte and compare again *)
+        Builder.store b (Builder.i8c 0xFF) (Builder.gep b (Instr.Glob "dst") (Builder.i64c 33) 1);
+        let ne =
+          Builder.callv b ~ret:Types.i64 "memcmp"
+            [ Instr.Glob "dst"; Instr.Glob "src"; Builder.i64c 64 ]
+        in
+        Builder.call0 b "output_i64" [ ne ])
+  in
+  ignore machine;
+  let out = Bytes.of_string r.Cpu.Machine.output_bytes in
+  check_bool "equal buffers -> 0" true (Bytes.get_int64_le out 0 = 0L);
+  check_bool "differing buffers -> nonzero" true (Bytes.get_int64_le out 8 <> 0L)
+
+(* ---- math kernel accuracy, evaluated through the simulator ---- *)
+
+let eval_math mk (inputs : float list) : float list =
+  let m = Builder.create_module () in
+  let b, _ = Builder.func m "main" [ ("n", Types.i64) ] in
+  List.iter
+    (fun x -> Builder.call0 b "output_f64" [ mk b (Builder.f64c x) ])
+    inputs;
+  Builder.ret b None;
+  Verifier.verify_exn m;
+  let r = Cpu.Machine.run_module m "main" ~args:[| 0L |] in
+  let out = Bytes.of_string r.Cpu.Machine.output_bytes in
+  List.mapi (fun i _ -> Int64.float_of_bits (Bytes.get_int64_le out (i * 8))) inputs
+
+let rel_err a b = Float.abs (a -. b) /. Float.abs b
+
+let test_exp_accuracy () =
+  let xs = [ -5.0; -1.0; -0.1; 0.0; 0.3; 1.0; 2.5; 10.0 ] in
+  let got = eval_math Workloads.Fmath.exp xs in
+  List.iter2
+    (fun x g ->
+      if rel_err g (exp x) > 2e-4 then
+        Alcotest.failf "exp %.2f: got %.8g want %.8g" x g (exp x))
+    xs got
+
+let test_ln_accuracy () =
+  let xs = [ 0.01; 0.5; 1.0; 1.7; 10.0; 12345.0 ] in
+  let got = eval_math Workloads.Fmath.ln xs in
+  List.iter2
+    (fun x g ->
+      if Float.abs (g -. log x) > 1e-4 then
+        Alcotest.failf "ln %.2f: got %.8g want %.8g" x g (log x))
+    xs got
+
+let test_sqrt_accuracy () =
+  let xs = [ 0.25; 1.0; 2.0; 9.0; 1e6 ] in
+  let got = eval_math Workloads.Fmath.sqrt xs in
+  List.iter2
+    (fun x g ->
+      if rel_err g (sqrt x) > 1e-6 then
+        Alcotest.failf "sqrt %.2f: got %.8g want %.8g" x g (sqrt x))
+    xs got
+
+let test_cndf_properties () =
+  let xs = [ -8.0; -2.0; -0.5; 0.0; 0.5; 2.0; 8.0 ] in
+  let got = eval_math Workloads.Fmath.cndf xs in
+  (* symmetric, monotone, correct at the anchor points *)
+  List.iter2
+    (fun x g ->
+      check_bool "in [0,1]" true (g >= 0.0 && g <= 1.0);
+      if x = 0.0 && Float.abs (g -. 0.5) > 1e-6 then Alcotest.failf "cndf 0 = %.8g" g;
+      if x >= 8.0 && g < 0.999999 then Alcotest.failf "cndf tail %.8g" g)
+    xs got;
+  let rec monotone = function
+    | a :: b :: rest -> a <= b && monotone (b :: rest)
+    | _ -> true
+  in
+  check_bool "monotone" true (monotone got)
+
+let tests =
+  [
+    Alcotest.test_case "memcpy with tail" `Quick test_memcpy;
+    Alcotest.test_case "memset/bzero" `Quick test_memset_bzero;
+    Alcotest.test_case "memcmp" `Quick test_memcmp;
+    Alcotest.test_case "exp accuracy" `Quick test_exp_accuracy;
+    Alcotest.test_case "ln accuracy" `Quick test_ln_accuracy;
+    Alcotest.test_case "sqrt accuracy" `Quick test_sqrt_accuracy;
+    Alcotest.test_case "cndf shape" `Quick test_cndf_properties;
+  ]

@@ -1,0 +1,98 @@
+(* Early smoke test: a summation loop built with the builder, executed on
+   the machine, checked for value and for sane counters. *)
+
+let sum_module n =
+  let m = Ir.Builder.create_module () in
+  let b, _ = Ir.Builder.func m "main" [] ~ret:Ir.Types.i64 in
+  let open Ir.Builder in
+  let acc = fresh b ~name:"acc" Ir.Types.i64 in
+  assign b acc (i64c 0);
+  for_ b ~lo:(i64c 0) ~hi:(i64c n) (fun i ->
+      assign b acc (add b (Ir.Instr.Reg acc) i));
+  call0 b "output_i64" [ Ir.Instr.Reg acc ];
+  ret b (Some (Ir.Instr.Reg acc));
+  m
+
+let test_sum () =
+  let m = sum_module 1000 in
+  Ir.Verifier.verify_exn m;
+  let r = Cpu.Machine.run_module m "main" in
+  Alcotest.(check (option reject)) "no trap" None r.Cpu.Machine.trap;
+  let bytes = r.Cpu.Machine.output_bytes in
+  Alcotest.(check int) "output size" 8 (String.length bytes);
+  let v = Bytes.get_int64_le (Bytes.of_string bytes) 0 in
+  Alcotest.(check int64) "sum 0..999" 499500L v;
+  Alcotest.(check bool) "cycles sane" true (r.Cpu.Machine.wall_cycles > 0)
+
+let test_memory () =
+  let m = Ir.Builder.create_module () in
+  Ir.Builder.global m "buf" 1024;
+  let b, _ = Ir.Builder.func m "main" [] in
+  let open Ir.Builder in
+  for_ b ~lo:(i64c 0) ~hi:(i64c 100) (fun i ->
+      let addr = gep b (Ir.Instr.Glob "buf") i 8 in
+      store b (mul b i (i64c 3)) addr);
+  let acc = fresh b ~name:"acc" Ir.Types.i64 in
+  assign b acc (i64c 0);
+  for_ b ~lo:(i64c 0) ~hi:(i64c 100) (fun i ->
+      let addr = gep b (Ir.Instr.Glob "buf") i 8 in
+      assign b acc (add b (Ir.Instr.Reg acc) (load b Ir.Types.i64 addr)));
+  call0 b "output_i64" [ Ir.Instr.Reg acc ];
+  ret b None;
+  Ir.Verifier.verify_exn m;
+  let r = Cpu.Machine.run_module m "main" in
+  Alcotest.(check (option reject)) "no trap" None r.Cpu.Machine.trap;
+  let v = Bytes.get_int64_le (Bytes.of_string r.Cpu.Machine.output_bytes) 0 in
+  Alcotest.(check int64) "sum of 3i" (Int64.of_int (3 * 99 * 100 / 2)) v
+
+let tests =
+  [
+    Alcotest.test_case "sum loop" `Quick test_sum;
+    Alcotest.test_case "global memory" `Quick test_memory;
+  ]
+
+(* ---- differential: all build flavours compute the same output ---- *)
+
+let run_build b m =
+  let r = Elzar.run b m "main" in
+  (match r.Cpu.Machine.trap with
+  | Some t -> Alcotest.failf "%s trapped: %s" (Elzar.build_name b) (Cpu.Machine.string_of_trap t)
+  | None -> ());
+  r
+
+let test_differential () =
+  let builds =
+    [
+      Elzar.Native;
+      Elzar.Native_novec;
+      Elzar.Hardened Elzar.Harden_config.default;
+      Elzar.Hardened Elzar.Harden_config.no_checks;
+      Elzar.Hardened Elzar.Harden_config.future_avx;
+      Elzar.Hardened { Elzar.Harden_config.default with recovery = Elzar.Harden_config.Extended };
+      Elzar.Swiftr;
+    ]
+  in
+  let m = sum_module 500 in
+  Ir.Verifier.verify_exn m;
+  let reference = (run_build Elzar.Native_novec m).Cpu.Machine.output_bytes in
+  List.iter
+    (fun b ->
+      let r = run_build b m in
+      Alcotest.(check string)
+        (Elzar.build_name b ^ " output")
+        reference r.Cpu.Machine.output_bytes)
+    builds
+
+let test_elzar_slower_than_native () =
+  let m = sum_module 2000 in
+  let n = run_build Elzar.Native_novec m in
+  let e = run_build (Elzar.Hardened Elzar.Harden_config.default) m in
+  let ratio = Elzar.normalized_runtime ~native:n e in
+  if ratio <= 1.0 then Alcotest.failf "elzar not slower: %.2f" ratio
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "differential builds" `Quick test_differential;
+      Alcotest.test_case "elzar costs more than native" `Quick test_elzar_slower_than_native;
+    ]

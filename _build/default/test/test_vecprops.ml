@@ -1,0 +1,142 @@
+(* Property-based testing of the auto-vectorizer: random canonical loops
+   over two input arrays and an output array, with random reductions —
+   vectorized and scalar builds must agree bit-for-bit, and the vector loop
+   must handle remainders, invariants and affine operands. *)
+
+open Ir
+
+(* a loop body is a small expression tree over: A[i], B[i], the induction
+   variable, an invariant parameter, and constants *)
+type expr =
+  | Load_a
+  | Load_b
+  | Ivar
+  | Param
+  | Const of int
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Xorop of expr * expr
+  | Shlop of expr  (* << 3 *)
+  | Cmpsel of expr * expr  (* if x < y then x else y *)
+
+let rec gen_expr n st =
+  if n <= 1 then
+    match Random.State.int st 5 with
+    | 0 -> Load_a
+    | 1 -> Load_b
+    | 2 -> Ivar
+    | 3 -> Param
+    | _ -> Const (Random.State.int st 100 - 50)
+  else
+    let sub () = gen_expr (n / 2) st in
+    match Random.State.int st 6 with
+    | 0 -> Add (sub (), sub ())
+    | 1 -> Sub (sub (), sub ())
+    | 2 -> Mul (sub (), sub ())
+    | 3 -> Xorop (sub (), sub ())
+    | 4 -> Shlop (sub ())
+    | _ -> Cmpsel (sub (), sub ())
+
+type spec = {
+  seed : int;
+  depth : int;
+  trip : int;  (** deliberately often not a multiple of 4 *)
+  reduce : bool;  (** accumulate into a sum, or store to C[i] *)
+}
+
+let rec emit_expr b ~a ~bb ~param (i : Instr.operand) (e : expr) : Instr.operand =
+  let open Builder in
+  let rec1 = emit_expr b ~a ~bb ~param i in
+  match e with
+  | Load_a -> load b Types.i64 (gep b a i 8)
+  | Load_b -> load b Types.i64 (gep b bb i 8)
+  | Ivar -> i
+  | Param -> param
+  | Const c -> i64c c
+  | Add (x, y) -> add b (rec1 x) (rec1 y)
+  | Sub (x, y) -> sub b (rec1 x) (rec1 y)
+  | Mul (x, y) -> mul b (rec1 x) (rec1 y)
+  | Xorop (x, y) -> xor b (rec1 x) (rec1 y)
+  | Shlop x -> shl b (rec1 x) (i64c 3)
+  | Cmpsel (x, y) ->
+      let vx = rec1 x and vy = rec1 y in
+      select b (icmp b Instr.Islt vx vy) vx vy
+
+let build_loop (s : spec) : Instr.modul =
+  let st = Random.State.make [| s.seed |] in
+  let e = gen_expr s.depth st in
+  let m = Builder.create_module () in
+  Builder.global m "A" (s.trip * 8);
+  Builder.global m "B" (s.trip * 8);
+  Builder.global m "C" (s.trip * 8);
+  let open Builder in
+  let b, ps = func m "kernel" [ ("p", Types.i64) ] in
+  let param = match ps with [ p ] -> Instr.Reg p | _ -> assert false in
+  let acc = fresh b ~name:"acc" Types.i64 in
+  assign b acc (i64c 0);
+  for_ b ~lo:(i64c 0) ~hi:(i64c s.trip) (fun i ->
+      let v = emit_expr b ~a:(Instr.Glob "A") ~bb:(Instr.Glob "B") ~param i e in
+      if s.reduce then assign b acc (add b (Instr.Reg acc) v)
+      else store b v (gep b (Instr.Glob "C") i 8));
+  call0 b "output_i64" [ Instr.Reg acc ];
+  for_ b ~lo:(i64c 0) ~hi:(i64c s.trip) (fun i ->
+      call0 b "output_i64" [ load b Types.i64 (gep b (Instr.Glob "C") i 8) ]);
+  ret b None;
+  let b, ps = func m ~hardened:false "main" [ ("n", Types.i64) ] in
+  let n = match ps with [ p ] -> Instr.Reg p | _ -> assert false in
+  call0 b "kernel" [ n ];
+  ret b None;
+  m
+
+let init_arrays machine trip =
+  let st = Random.State.make [| 777 |] in
+  Workloads.Data.fill_i64 machine "A" trip (fun _ -> Random.State.int64 st 1000L);
+  Workloads.Data.fill_i64 machine "B" trip (fun _ -> Random.State.int64 st 1000L)
+
+let run_spec (s : spec) build =
+  let m = build_loop s in
+  Verifier.verify_exn m;
+  let prepared = Elzar.prepare build m in
+  let machine = Cpu.Machine.create prepared in
+  init_arrays machine s.trip;
+  let r = Cpu.Machine.run ~args:[| 9L |] machine "main" in
+  (match r.Cpu.Machine.trap with
+  | Some t -> QCheck.Test.fail_reportf "trap: %s" (Cpu.Machine.string_of_trap t)
+  | None -> ());
+  r
+
+let gen_spec =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "{seed=%d; depth=%d; trip=%d; reduce=%b}" s.seed s.depth s.trip s.reduce)
+    QCheck.Gen.(
+      let* seed = int_bound 1_000_000 in
+      let* depth = int_range 1 10 in
+      let* trip = int_range 1 133 in
+      let* reduce = bool in
+      return { seed; depth; trip; reduce })
+
+let prop_vectorizer_sound =
+  QCheck.Test.make ~count:60 ~name:"vectorizer: scalar and vector loops agree" gen_spec
+    (fun s ->
+      let scalar = run_spec s Elzar.Native_novec in
+      let vector = run_spec s Elzar.Native in
+      scalar.Cpu.Machine.output_bytes = vector.Cpu.Machine.output_bytes)
+
+(* the generator must actually exercise the vectorizer, not only reject *)
+let test_generator_vectorizes () =
+  let vectorized = ref 0 in
+  for seed = 0 to 30 do
+    let m = build_loop { seed; depth = 4; trip = 64; reduce = seed mod 2 = 0 } in
+    let m = Ir.Linker.copy m in
+    ignore (Elzar.Optimize.run m);
+    vectorized := !vectorized + Elzar.Vectorize.run m
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "a healthy fraction vectorizes (%d/31)" !vectorized)
+    true (!vectorized > 8)
+
+let tests =
+  QCheck_alcotest.to_alcotest prop_vectorizer_sound
+  :: [ Alcotest.test_case "generator coverage" `Quick test_generator_vectorizes ]

@@ -1,0 +1,51 @@
+(* Integration: every workload runs trap-free and produces identical output
+   under every build flavour (the hardening passes are semantics-preserving
+   by construction; this is the end-to-end check). *)
+
+let builds =
+  [
+    Elzar.Native;
+    Elzar.Native_novec;
+    Elzar.Hardened Elzar.Harden_config.default;
+    Elzar.Swiftr;
+  ]
+
+let check_workload ?(nthreads = 2) (w : Workloads.Workload.t) () =
+  let run b =
+    let r = Workloads.Workload.execute w ~build:b ~nthreads ~size:Workloads.Workload.Tiny in
+    (match r.Cpu.Machine.trap with
+    | Some t ->
+        Alcotest.failf "%s/%s trapped: %s" w.Workloads.Workload.name (Elzar.build_name b)
+          (Cpu.Machine.string_of_trap t)
+    | None -> ());
+    if String.length r.Cpu.Machine.output_bytes = 0 then
+      Alcotest.failf "%s/%s produced no output" w.Workloads.Workload.name (Elzar.build_name b);
+    r
+  in
+  let reference = run Elzar.Native_novec in
+  List.iter
+    (fun b ->
+      let r = run b in
+      Alcotest.(check string)
+        (w.Workloads.Workload.name ^ "/" ^ Elzar.build_name b ^ " output")
+        reference.Cpu.Machine.output_bytes r.Cpu.Machine.output_bytes)
+    builds
+
+let case w =
+  Alcotest.test_case w.Workloads.Workload.name `Quick (check_workload w)
+
+let tests =
+  List.map case
+    (Workloads.Registry.all @ Workloads.Registry.extended @ Workloads.Registry.micro)
+
+(* thread-count scaling sanity: 4 threads should not be slower than 1 on an
+   embarrassingly parallel benchmark *)
+let test_scaling () =
+  let w = Workloads.Registry.find "black" in
+  let r1 = Workloads.Workload.execute w ~build:Elzar.Native ~nthreads:1 ~size:Workloads.Workload.Small in
+  let r4 = Workloads.Workload.execute w ~build:Elzar.Native ~nthreads:4 ~size:Workloads.Workload.Small in
+  if r4.Cpu.Machine.wall_cycles >= r1.Cpu.Machine.wall_cycles then
+    Alcotest.failf "no speedup: 1t=%d 4t=%d" r1.Cpu.Machine.wall_cycles
+      r4.Cpu.Machine.wall_cycles
+
+let tests = tests @ [ Alcotest.test_case "thread scaling" `Quick test_scaling ]
