@@ -31,18 +31,26 @@ let ablate_recovery () =
     Elzar.Hardened { Elzar.Harden_config.default with recovery = Elzar.Harden_config.Extended }
   in
   Printf.printf "%-10s %30s %30s\n" "bench" "basic (SDC% / crashed%)" "extended (SDC% / crashed%)";
+  let totals = Common.fi_totals () in
   List.iter
     (fun name ->
       let w = Workloads.Registry.find name in
       let camp b =
-        Fault.campaign_double ~same_bit:true ~n:(!Common.fi_injections / 2)
-          (Workloads.Workload.fi_spec w ~build:b ())
+        let r =
+          Campaign.double ~same_bit:true ~n:(!Common.fi_injections / 2)
+            ~jobs:(Common.fi_effective_jobs ())
+            ?progress:(Common.fi_progress_cb (name ^ "/double"))
+            (Workloads.Workload.fi_spec w ~build:b ())
+        in
+        Common.fi_account totals r;
+        r.Campaign.stats
       in
       let basic = camp (Elzar.Hardened Elzar.Harden_config.default) in
       let ext = camp extended in
       Printf.printf "%-10s %16.1f / %9.1f %18.1f / %9.1f\n" name (Fault.sdc_pct basic)
         (Fault.crashed_pct basic) (Fault.sdc_pct ext) (Fault.crashed_pct ext))
-    [ "hist"; "linreg"; "wc" ]
+    [ "hist"; "linreg"; "wc" ];
+  Common.fi_print_totals totals
 
 (* (c) SWIFT-R voting: repair-all-copies vs use-majority-only *)
 let ablate_swiftr_repair () =

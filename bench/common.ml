@@ -5,6 +5,54 @@
 let size = ref Workloads.Workload.Medium
 let fi_injections = ref 150
 
+(* Fault-injection campaign worker pool: 0 = auto (one worker per
+   recommended domain).  Set with --fi-jobs. *)
+let fi_jobs = ref 0
+
+(* Live progress meter for campaigns on stderr.  Set with --fi-progress. *)
+let fi_progress = ref false
+
+let fi_effective_jobs () = if !fi_jobs > 0 then !fi_jobs else Campaign.default_jobs ()
+
+let fi_progress_cb tag : (Campaign.progress -> unit) option =
+  if not !fi_progress then None
+  else
+    Some
+      (fun (p : Campaign.progress) ->
+        if p.Campaign.completed mod 10 = 0 || p.Campaign.completed = p.Campaign.total then
+          Printf.eprintf
+            "\r%-24s %d/%d injections  (%.0fs elapsed, eta %.0fs, SDC %d, crashed %d)   %!"
+            tag p.Campaign.completed p.Campaign.total p.Campaign.elapsed p.Campaign.eta
+            p.Campaign.running.Fault.sdc
+            (p.Campaign.running.Fault.hang + p.Campaign.running.Fault.os_detected);
+        if p.Campaign.completed >= p.Campaign.total then prerr_newline ())
+
+(* Accumulates campaign observability totals for a figure's footer line. *)
+type fi_totals = {
+  mutable t_experiments : int;
+  mutable t_wall : float;
+  mutable t_cycles : int;
+  mutable t_not_reached : int;
+}
+
+let fi_totals () = { t_experiments = 0; t_wall = 0.0; t_cycles = 0; t_not_reached = 0 }
+
+let fi_account (t : fi_totals) (r : Campaign.report) =
+  t.t_experiments <- t.t_experiments + r.Campaign.experiments_run;
+  t.t_wall <- t.t_wall +. r.Campaign.wall_seconds;
+  t.t_cycles <- t.t_cycles + r.Campaign.cycles_simulated;
+  t.t_not_reached <- t.t_not_reached + r.Campaign.not_reached
+
+let fi_print_totals (t : fi_totals) =
+  Printf.printf
+    "campaign totals: %d experiments, %.1fs wall, %.2f Gcycles simulated, %d workers%s\n"
+    t.t_experiments t.t_wall
+    (float_of_int t.t_cycles /. 1e9)
+    (fi_effective_jobs ())
+    (if t.t_not_reached > 0 then
+       Printf.sprintf ", %d not-reached redrawn" t.t_not_reached
+     else "")
+
 type flavour = {
   tag : string;
   build : Elzar.build;

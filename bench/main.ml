@@ -2,6 +2,7 @@
     evaluation (DESIGN.md section 4 maps each to its module).
 
     Usage: bench/main.exe [experiments...] [--size S] [--injections N]
+    [--fi-jobs J] [--fi-progress]
     With no arguments, runs everything. *)
 
 let experiments =
@@ -24,7 +25,9 @@ let experiments =
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [%s] [--size tiny|small|medium|large] [--injections N]\n"
+  Printf.printf
+    "usage: main.exe [%s] [--size tiny|small|medium|large] [--injections N] [--fi-jobs J] \
+     [--fi-progress]\n"
     (String.concat "|" (List.map fst experiments));
   exit 1
 
@@ -45,6 +48,12 @@ let () =
     | "--injections" :: n :: rest ->
         Common.fi_injections := int_of_string n;
         parse rest
+    | "--fi-jobs" :: n :: rest ->
+        Common.fi_jobs := int_of_string n;
+        parse rest
+    | "--fi-progress" :: rest ->
+        Common.fi_progress := true;
+        parse rest
     | name :: rest when List.mem_assoc name experiments ->
         selected := name :: !selected;
         parse rest
@@ -55,9 +64,10 @@ let () =
   in
   parse (List.tl args);
   let todo = if !selected = [] then List.map fst experiments else List.rev !selected in
-  Printf.printf "ELZAR experiment harness (size=%s, injections=%d)\n"
+  Printf.printf "ELZAR experiment harness (size=%s, injections=%d, fi-jobs=%d)\n"
     (Workloads.Workload.size_to_string !Common.size)
-    !Common.fi_injections;
+    !Common.fi_injections
+    (Common.fi_effective_jobs ());
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

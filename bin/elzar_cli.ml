@@ -85,18 +85,56 @@ let run_cmd =
 (* ---- inject ---- *)
 
 let inject_cmd =
-  let run name build n seed =
+  let run name build n seed jobs double same_bit checkpoint quiet =
     let w = Workloads.Registry.find name in
     let spec = Workloads.Workload.fi_spec w ~build () in
-    let stats = Fault.campaign ~seed ~n spec in
-    Format.printf "%a@." Fault.pp_stats stats
+    let progress =
+      if quiet then None
+      else
+        Some
+          (fun (p : Campaign.progress) ->
+            if p.Campaign.completed mod 10 = 0 || p.Campaign.completed >= p.Campaign.total
+            then
+              Printf.eprintf "\r%d/%d injections (%.0fs elapsed, eta %.0fs)   %!"
+                p.Campaign.completed p.Campaign.total p.Campaign.elapsed p.Campaign.eta;
+            if p.Campaign.completed >= p.Campaign.total then prerr_newline ())
+    in
+    let report =
+      if double then Campaign.double ~seed ~n ~same_bit ?jobs ?progress ?checkpoint spec
+      else Campaign.single ~seed ~n ?jobs ?progress ?checkpoint spec
+    in
+    Format.printf "%a@." Fault.pp_stats report.Campaign.stats;
+    Format.printf "%a@." Campaign.pp_totals report
   in
   let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
   let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of injections.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains (default: one per recommended domain). Results are \
+                   bit-identical for any value.")
+  in
+  let double =
+    Arg.(value & flag & info [ "double" ] ~doc:"Double-bit campaign (two flips, §III-C).")
+  in
+  let same_bit =
+    Arg.(value & opt bool true
+         & info [ "same-bit" ]
+             ~doc:"With --double, flip the same bit in both lanes (adversarial \
+                   agreeing-replicas pattern).")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Persist completed experiments to $(docv); an interrupted campaign with \
+                   the same parameters resumes from it instead of restarting.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the progress meter.") in
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
-    Term.(const run $ name_arg $ build_arg $ n $ seed)
+    Term.(const run $ name_arg $ build_arg $ n $ seed $ jobs $ double $ same_bit $ checkpoint
+          $ quiet)
 
 (* ---- show ---- *)
 

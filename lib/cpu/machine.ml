@@ -62,6 +62,25 @@ type inject = {
                                     same destination — multi-bit SEU *)
 }
 
+(* Resolves the second flip of a multi-bit SEU against the destination's
+   actual lane count.  The raw (lane2, bit2) pair is drawn before the
+   injection site (and hence its [dlanes]) is known; after the [mod dlanes]
+   wrap it could land on the first flip's lane and silently cancel it,
+   turning the experiment into a fault-free run.  Guarantees the returned
+   flip never cancels the first: on a multi-lane destination the second
+   lane is remapped to a distinct lane; on a scalar destination (a single
+   lane, i.e. no second replica to corrupt) it falls back to a distinct
+   bit of the same word. *)
+let second_flip ~(dlanes : int) ~(lane : int) ~(bit : int) ~(lane2 : int) ~(bit2 : int) :
+    int * int =
+  let dlanes = max dlanes 1 in
+  let l1 = lane mod dlanes in
+  let l2 = lane2 mod dlanes in
+  let b1 = bit land 63 and b2 = bit2 land 63 in
+  if dlanes = 1 then (0, if b2 = b1 then (b1 + 1) land 63 else b2)
+  else if l2 = l1 then ((l1 + 1 + (lane2 mod (dlanes - 1))) mod dlanes, b2)
+  else (l2, b2)
+
 type config = {
   max_instrs : int;
   inject : inject option;
@@ -305,9 +324,7 @@ let exec_builtin (m : t) (th : thread) (fr : frame) (id : int) (args : int64 arr
 
 (* ---- interpreter ---- *)
 
-let majority4 (lanes : int64 array) ~(off : int) ~(n : int) (get : int -> int64) : int64 =
-  ignore lanes;
-  ignore off;
+let majority4 ~(n : int) (get : int -> int64) : int64 =
   (* value appearing at least twice among n lanes; raises if none *)
   let rec pick i =
     if i >= n then raise (Trap Elzar_fatal)
@@ -531,7 +548,7 @@ let step (m : t) (th : thread) : bool =
       for j = 1 to alanes - 1 do
         if get_lane regs a j <> a0 then disagree := true
       done;
-      let addr = majority4 regs ~off:0 ~n:alanes (fun j -> get_lane regs a j) in
+      let addr = majority4 ~n:alanes (fun j -> get_lane regs a j) in
       if !disagree then m.recovered <- m.recovered + 1;
       try
         let v = Memory.read m.mem ~width:w addr in
@@ -551,8 +568,8 @@ let step (m : t) (th : thread) : bool =
       for j = 1 to vlanes - 1 do
         if get_lane regs v j <> v0 then disagree := true
       done;
-      let addr = majority4 regs ~off:0 ~n:alanes (fun j -> get_lane regs a j) in
-      let value = majority4 regs ~off:0 ~n:vlanes (fun j -> get_lane regs v j) in
+      let addr = majority4 ~n:alanes (fun j -> get_lane regs a j) in
+      let value = majority4 ~n:vlanes (fun j -> get_lane regs v j) in
       if !disagree then m.recovered <- m.recovered + 1;
       try
         Memory.write m.mem ~width:w addr value;
@@ -633,13 +650,19 @@ let step (m : t) (th : thread) : bool =
      | Some inj ->
          m.inj_count <- m.inj_count + 1;
          if m.inj_count = inj.at then begin
+           let dlanes = max it.Code.dlanes 1 in
            let flip lane bit =
-             let lane = lane mod max it.Code.dlanes 1 in
-             let off = it.Code.dst + lane in
+             let off = it.Code.dst + (lane mod dlanes) in
              fr.regs.(off) <- Int64.logxor fr.regs.(off) (Int64.shift_left 1L (bit land 63))
            in
            flip inj.lane inj.bit;
-           (match inj.second with Some (l, b) -> flip l b | None -> ());
+           (match inj.second with
+           | Some (l, b) ->
+               let l, b =
+                 second_flip ~dlanes ~lane:inj.lane ~bit:inj.bit ~lane2:l ~bit2:b
+               in
+               flip l b
+           | None -> ());
            m.injected <- true
          end
      | None -> if m.cfg.count_inject_sites then m.inj_count <- m.inj_count + 1);

@@ -54,6 +54,16 @@ type inject = {
   second : (int * int) option;
 }
 
+(** [second_flip ~dlanes ~lane ~bit ~lane2 ~bit2] is the (lane, bit) the
+    second flip of a multi-bit SEU actually targets once the destination's
+    lane count is known.  Guaranteed never to cancel the first flip
+    [(lane mod dlanes, bit land 63)]: on a multi-lane destination the
+    second lane is remapped to a distinct lane after the wrap; on a scalar
+    destination (no second replica) it falls back to a distinct bit of the
+    same word. *)
+val second_flip :
+  dlanes:int -> lane:int -> bit:int -> lane2:int -> bit2:int -> int * int
+
 type config = {
   max_instrs : int;  (** exceeded -> Hang *)
   inject : inject option;

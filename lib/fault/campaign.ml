@@ -1,0 +1,313 @@
+(** Parallel, deterministic fault-injection campaign engine (paper §IV-B).
+
+    The paper's evaluation runs thousands of independent single-run
+    experiments per benchmark; every experiment re-executes the whole
+    workload on the simulated machine, which makes campaigns the slowest
+    part of the bench suite.  Experiments are mutually independent, so —
+    like the SDE/gdb harness the paper scripts around, and like RepTFD's
+    campaign driver — they fan out over a pool of workers, here OCaml 5
+    domains.
+
+    Determinism: the full experiment list is pre-drawn from the seeded RNG
+    before any worker starts, and outcomes are folded back in plan order,
+    so the resulting statistics are bit-identical regardless of the worker
+    count.  Experiments whose injection site is never reached
+    ({!Fault.Not_reached}) carry no information; they are discarded and
+    replaced with fresh draws from the same RNG stream (in plan-slot
+    order, preserving determinism), as the paper's campaign does.
+
+    Observability: per-outcome running counters and an ETA are pushed to
+    an optional progress callback, and the report totals wall-clock time
+    and simulated cycles.  Campaigns can checkpoint completed experiments
+    to a file and resume after an interruption instead of restarting. *)
+
+(* ---- sizing ---- *)
+
+(* Worker-pool width when the caller does not pin one. *)
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* A Not_reached replacement can itself be Not_reached; give up redrawing
+   after this many rounds and report the leftovers as discarded. *)
+let max_rounds = 8
+
+(* Completed experiments between two checkpoint writes. *)
+let save_every = 32
+
+(* ---- experiment drawing (one RNG, fixed draw order) ---- *)
+
+let draw_single (rng : Random.State.t) ~(sites : int) : Fault.experiment =
+  let at = 1 + Random.State.int rng sites in
+  let lane = Random.State.int rng 32 in
+  let bit = Random.State.int rng 64 in
+  { Fault.at; lane; bit; second = None }
+
+(* The second lane is drawn at a non-zero offset from the first; the final
+   non-aliasing guarantee (for any destination lane count) is enforced at
+   injection time by {!Cpu.Machine.second_flip}. *)
+let draw_double ?(same_bit = true) (rng : Random.State.t) ~(sites : int) : Fault.experiment =
+  let at = 1 + Random.State.int rng sites in
+  let lane = Random.State.int rng 32 in
+  let lane2 = lane + 1 + Random.State.int rng 3 in
+  let bit = Random.State.int rng 64 in
+  let bit2 = if same_bit then bit else Random.State.int rng 64 in
+  { Fault.at; lane; bit; second = Some (lane2, bit2) }
+
+(* ---- progress and reporting ---- *)
+
+type progress = {
+  completed : int;  (** experiments finished, including redraws *)
+  total : int;  (** experiments currently planned, including redraws *)
+  elapsed : float;  (** seconds since the campaign started *)
+  eta : float;  (** estimated seconds to completion *)
+  running : Fault.stats;  (** per-outcome running counters *)
+  not_reached : int;  (** discarded so far *)
+}
+
+type report = {
+  stats : Fault.stats;
+  outcomes : (Fault.experiment * Fault.outcome) array;
+      (** counted experiments in plan order (excludes discarded ones) *)
+  wall_seconds : float;
+  cycles_simulated : int;  (** simulated cycles over all injection runs *)
+  experiments_run : int;  (** injection runs executed, including redraws *)
+  not_reached : int;  (** runs discarded because the site was not reached *)
+  jobs : int;
+}
+
+(* ---- checkpointing ---- *)
+
+(* A checkpoint is the map (redraw round, plan slot) -> (outcome, cycles)
+   of every completed experiment, keyed by a digest of the plan + golden
+   run so a stale file for a different campaign can never be resumed. *)
+type ck_state = {
+  ck_key : string;
+  ck_done : ((int * int) * (Fault.outcome * int)) list;
+}
+
+let ck_key ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : string =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (exps, golden.Cpu.Machine.output_digest, golden.Cpu.Machine.inject_sites)
+          []))
+
+let ck_load (path : string) ~(key : string) : ((int * int), Fault.outcome * int) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  (if Sys.file_exists path then
+     try
+       let ic = open_in_bin path in
+       let st : ck_state = Marshal.from_channel ic in
+       close_in ic;
+       if st.ck_key = key then
+         List.iter (fun (k, v) -> Hashtbl.replace tbl k v) st.ck_done
+     with _ -> () (* unreadable/corrupt checkpoint: start over *));
+  tbl
+
+let ck_save (path : string) ~(key : string) done_ =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Marshal.to_channel oc { ck_key = key; ck_done = done_ } [];
+  close_out oc;
+  Sys.rename tmp path
+
+(* ---- the engine ---- *)
+
+(* Mutable campaign-wide state, shared by the workers under [mutex]. *)
+type shared = {
+  mutex : Mutex.t;
+  t0 : float;
+  mutable completed : int;
+  mutable total : int;
+  mutable running : Fault.stats;
+  mutable nreach : int;
+  mutable cycles : int;
+  mutable executed : int;  (** completed minus checkpoint-restored *)
+  mutable ck_done : ((int * int) * (Fault.outcome * int)) list;
+  mutable since_save : int;
+}
+
+(* Runs one batch of (plan slot, experiment) pairs over [jobs] domains.
+   Each worker builds its own machines ({!Fault.run_experiment} creates a
+   fresh one per run); the only shared mutable state is the claim counter,
+   the disjointly-indexed output array and [shared] under its mutex.
+   Returns outcome + simulated cycles in batch order. *)
+let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
+    ~(round : int) ~ck_tbl ~(checkpoint : string option) ~(key : string) ~(shared : shared)
+    ~(progress : (progress -> unit) option) (batch : (int * Fault.experiment) array) :
+    (Fault.outcome * int) array =
+  let k = Array.length batch in
+  let out = Array.make k None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < k then begin
+        let slot, e = batch.(i) in
+        let restored = Hashtbl.find_opt ck_tbl (round, slot) in
+        let ((o, _) as oc) =
+          match restored with
+          | Some oc -> oc
+          | None ->
+              let r = Fault.run_experiment spec e in
+              (Fault.classify ~golden r, r.Cpu.Machine.wall_cycles)
+        in
+        out.(i) <- Some oc;
+        Mutex.lock shared.mutex;
+        shared.completed <- shared.completed + 1;
+        shared.cycles <- shared.cycles + snd oc;
+        if restored = None then shared.executed <- shared.executed + 1;
+        (match o with
+        | Fault.Not_reached -> shared.nreach <- shared.nreach + 1
+        | o -> shared.running <- Fault.add_outcome shared.running o);
+        shared.ck_done <- ((round, slot), oc) :: shared.ck_done;
+        shared.since_save <- shared.since_save + 1;
+        let save_now = checkpoint <> None && shared.since_save >= save_every in
+        if save_now then shared.since_save <- 0;
+        let done_ = shared.ck_done in
+        let snap =
+          match progress with
+          | None -> None
+          | Some _ ->
+              let elapsed = Unix.gettimeofday () -. shared.t0 in
+              let per = elapsed /. float_of_int (max 1 shared.completed) in
+              Some
+                {
+                  completed = shared.completed;
+                  total = shared.total;
+                  elapsed;
+                  eta = per *. float_of_int (max 0 (shared.total - shared.completed));
+                  running = shared.running;
+                  not_reached = shared.nreach;
+                }
+        in
+        (* checkpoint write and progress callback stay inside the critical
+           section: both must see a consistent snapshot, and serializing
+           the callback spares callers any locking of their own *)
+        (match (save_now, checkpoint) with
+        | true, Some path -> ( try ck_save path ~key done_ with Sys_error _ -> ())
+        | _ -> ());
+        (match (progress, snap) with Some f, Some p -> f p | _ -> ());
+        Mutex.unlock shared.mutex;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let jobs = max 1 (min jobs k) in
+  if jobs = 1 then worker ()
+  else Array.iter Domain.join (Array.init jobs (fun _ -> Domain.spawn worker));
+  Array.map (function Some oc -> oc | None -> assert false) out
+
+(** Runs a pre-drawn experiment list.  [redraw] supplies replacements for
+    [Not_reached] experiments (drawn between rounds, on the calling
+    domain, in plan-slot order — deterministic for any [jobs]); without it
+    they are simply discarded.  [checkpoint] names a file used to persist
+    and resume partial campaigns. *)
+let run ?jobs ?progress ?checkpoint ?redraw ~(spec : Fault.run_spec)
+    ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : report =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = Array.length exps in
+  let key = ck_key ~golden exps in
+  let ck_tbl =
+    match checkpoint with Some path -> ck_load path ~key | None -> Hashtbl.create 1
+  in
+  let shared =
+    {
+      mutex = Mutex.create ();
+      t0 = Unix.gettimeofday ();
+      completed = 0;
+      total = n;
+      running = Fault.empty_stats;
+      nreach = 0;
+      cycles = 0;
+      executed = 0;
+      ck_done = [];
+      since_save = 0;
+    }
+  in
+  let final = Array.make n None in
+  let pending = ref (Array.mapi (fun i e -> (i, e)) exps) in
+  let round = ref 0 in
+  while Array.length !pending > 0 do
+    let batch = !pending in
+    let results =
+      run_batch ~jobs ~spec ~golden ~round:!round ~ck_tbl ~checkpoint ~key ~shared ~progress
+        batch
+    in
+    let next = ref [] in
+    (* batch is in ascending plan-slot order (invariant below), so redraws
+       happen in slot order: the RNG consumption is reproducible *)
+    Array.iteri
+      (fun i (o, _cyc) ->
+        let slot, e = batch.(i) in
+        match o with
+        | Fault.Not_reached ->
+            if !round < max_rounds - 1 then begin
+              match redraw with
+              | Some d -> next := (slot, d ()) :: !next
+              | None -> ()
+            end
+        | o -> final.(slot) <- Some (e, o))
+      results;
+    pending := Array.of_list (List.rev !next);
+    if !pending <> [||] then
+      Mutex.protect shared.mutex (fun () ->
+          shared.total <- shared.total + Array.length !pending);
+    incr round
+  done;
+  (match checkpoint with
+  | Some path -> if Sys.file_exists path then ( try Sys.remove path with Sys_error _ -> ())
+  | None -> ());
+  let outcomes =
+    Array.of_list (List.filter_map (fun x -> x) (Array.to_list final))
+  in
+  let stats = Array.fold_left (fun s (_, o) -> Fault.add_outcome s o) Fault.empty_stats outcomes in
+  {
+    stats;
+    outcomes;
+    wall_seconds = Unix.gettimeofday () -. shared.t0;
+    cycles_simulated = shared.cycles;
+    experiments_run = shared.executed;
+    not_reached = shared.nreach;
+    jobs;
+  }
+
+(* ---- whole campaigns (the paper's Fig. 13 / §III-C experiments) ---- *)
+
+let plan ~(n : int) (draw : unit -> Fault.experiment) : Fault.experiment array =
+  (* explicit loop: Array.init's evaluation order is unspecified and the
+     draws must consume the RNG in plan order *)
+  let exps = Array.make n { Fault.at = 1; lane = 0; bit = 0; second = None } in
+  for i = 0 to n - 1 do
+    exps.(i) <- draw ()
+  done;
+  exps
+
+(* A full campaign of [n] independent single-bit injections. *)
+let single ?(seed = 42) ?(n = 300) ?jobs ?progress ?checkpoint (spec : Fault.run_spec) :
+    report =
+  let g = Fault.golden spec in
+  let sites = g.Cpu.Machine.inject_sites in
+  if sites = 0 then invalid_arg "Campaign.single: no hardened code to inject into";
+  let rng = Random.State.make [| seed |] in
+  let draw () = draw_single rng ~sites in
+  run ?jobs ?progress ?checkpoint ~redraw:draw ~spec ~golden:g (plan ~n draw)
+
+(* Campaign of double-bit faults; [same_bit] flips the same bit in two
+   different lanes (two replicas agreeing on a wrong value). *)
+let double ?(seed = 43) ?(n = 150) ?(same_bit = true) ?jobs ?progress ?checkpoint
+    (spec : Fault.run_spec) : report =
+  let g = Fault.golden spec in
+  let sites = g.Cpu.Machine.inject_sites in
+  if sites = 0 then invalid_arg "Campaign.double: no hardened code to inject into";
+  let rng = Random.State.make [| seed |] in
+  let draw () = draw_double ~same_bit rng ~sites in
+  run ?jobs ?progress ?checkpoint ~redraw:draw ~spec ~golden:g (plan ~n draw)
+
+(* One-line observability summary for bench tables. *)
+let pp_totals fmt (r : report) =
+  Format.fprintf fmt "%d runs, %.1fs wall, %.2f Gcycles simulated, %d jobs%s" r.experiments_run
+    r.wall_seconds
+    (float_of_int r.cycles_simulated /. 1e9)
+    r.jobs
+    (if r.not_reached > 0 then Printf.sprintf ", %d not-reached redrawn" r.not_reached else "")

@@ -1,0 +1,96 @@
+(** Parallel, deterministic fault-injection campaign engine (§IV-B).
+
+    Pre-draws the full experiment list from a seeded RNG, fans the
+    experiments out over a pool of OCaml 5 domains (each worker builds its
+    own simulated machines), folds outcomes back in plan order — so for a
+    fixed seed the statistics are bit-identical for any worker count —
+    and discards-and-redraws experiments whose injection site was never
+    reached.  Supports running-counter/ETA progress reporting and
+    checkpoint/resume of interrupted campaigns. *)
+
+(** [Domain.recommended_domain_count ()]: the pool width used when [jobs]
+    is not given. *)
+val default_jobs : unit -> int
+
+(** Draw one single-bit experiment: site uniform in [1, sites], lane in
+    [0, 32), bit in [0, 64). *)
+val draw_single : Random.State.t -> sites:int -> Fault.experiment
+
+(** Draw one double-bit experiment (same destination register).  The
+    second lane is drawn at a non-zero offset from the first;
+    {!Cpu.Machine.second_flip} guarantees the pair cannot alias (and
+    cancel) after the wrap to the destination's actual lane count. *)
+val draw_double : ?same_bit:bool -> Random.State.t -> sites:int -> Fault.experiment
+
+type progress = {
+  completed : int;  (** experiments finished, including redraws *)
+  total : int;  (** experiments currently planned, including redraws *)
+  elapsed : float;  (** seconds since the campaign started *)
+  eta : float;  (** estimated seconds to completion *)
+  running : Fault.stats;  (** per-outcome running counters *)
+  not_reached : int;  (** discarded so far *)
+}
+
+type report = {
+  stats : Fault.stats;
+  outcomes : (Fault.experiment * Fault.outcome) array;
+      (** counted experiments in plan order (excludes discarded ones) *)
+  wall_seconds : float;
+  cycles_simulated : int;  (** simulated cycles over all injection runs *)
+  experiments_run : int;  (** injection runs executed, including redraws *)
+  not_reached : int;  (** runs discarded because the site was not reached *)
+  jobs : int;
+}
+
+(** [run ?jobs ?progress ?checkpoint ?redraw ~spec ~golden exps] runs a
+    pre-drawn experiment list and returns the campaign report.
+
+    - [jobs]: worker-domain count (default {!default_jobs}; [1] runs
+      serially on the calling domain).
+    - [progress]: called after every completed experiment, serialized
+      under the engine lock.
+    - [checkpoint]: file used to persist completed experiments every few
+      runs; if it already holds results for this exact campaign (plan +
+      golden run), they are restored instead of re-executed, and the file
+      is removed once the campaign completes.
+    - [redraw]: supplies replacement experiments for [Not_reached] runs;
+      called between rounds on the calling domain in plan-slot order, so
+      RNG-based redraws stay deterministic.  Without it, unreached
+      experiments are discarded. *)
+val run :
+  ?jobs:int ->
+  ?progress:(progress -> unit) ->
+  ?checkpoint:string ->
+  ?redraw:(unit -> Fault.experiment) ->
+  spec:Fault.run_spec ->
+  golden:Cpu.Machine.result ->
+  Fault.experiment array ->
+  report
+
+(** [single ~seed ~n spec] — the paper's Fig. 13 campaign: [n] independent
+    single-bit injections.  @raise Invalid_argument if [spec] has no
+    hardened code to inject into. *)
+val single :
+  ?seed:int ->
+  ?n:int ->
+  ?jobs:int ->
+  ?progress:(progress -> unit) ->
+  ?checkpoint:string ->
+  Fault.run_spec ->
+  report
+
+(** [double ~seed ~n ~same_bit spec] — double-bit campaign (§III-C);
+    [same_bit] flips the same bit in two lanes (the adversarial
+    two-agreeing-corrupt-replicas pattern). *)
+val double :
+  ?seed:int ->
+  ?n:int ->
+  ?same_bit:bool ->
+  ?jobs:int ->
+  ?progress:(progress -> unit) ->
+  ?checkpoint:string ->
+  Fault.run_spec ->
+  report
+
+(** One-line wall-time / simulated-cycles / jobs summary for bench output. *)
+val pp_totals : Format.formatter -> report -> unit

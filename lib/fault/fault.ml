@@ -5,7 +5,11 @@
     of one randomly chosen dynamic instruction inside hardened code — GPR
     destinations flip their value, YMM destinations flip one bit of one
     lane, matching the SEU model of §III-A.  The outcome is classified
-    against a golden run (Table I). *)
+    against a golden run (Table I).
+
+    This module holds the per-experiment machinery (specs, single
+    injections, classification, outcome statistics); {!Campaign} drives
+    whole campaigns over it, in parallel across domains. *)
 
 type outcome =
   | Hang  (** program became unresponsive *)
@@ -13,6 +17,10 @@ type outcome =
   | Elzar_corrected  (** a recovery routine ran and the output is correct *)
   | Masked  (** fault did not affect the output *)
   | Sdc  (** silent data corruption in the output *)
+  | Not_reached
+      (** the injection site was never executed: no fault was actually
+          injected, so the run says nothing about resilience.  Campaigns
+          discard these and redraw, as the paper's campaign does. *)
 
 let outcome_to_string = function
   | Hang -> "hang"
@@ -20,6 +28,7 @@ let outcome_to_string = function
   | Elzar_corrected -> "elzar-corrected"
   | Masked -> "masked"
   | Sdc -> "SDC"
+  | Not_reached -> "not-reached"
 
 (* Everything needed to run one experiment deterministically. *)
 type run_spec = {
@@ -34,6 +43,19 @@ type run_spec = {
 let make_spec ?(flags_cmp = false) ?(args = [||]) ?(init = fun _ -> ())
     ?(max_instrs = 200_000_000) modul entry =
   { modul; flags_cmp; entry; args; init; max_instrs }
+
+(* One pre-drawn experiment: flip [bit] of one lane of the destination of
+   the [at]-th injection-eligible instruction, plus an optional second
+   (lane, bit) flip for multi-bit SEUs.  The second lane is resolved
+   against the destination's actual lane count by
+   {!Cpu.Machine.second_flip}, which guarantees it never aliases (and
+   hence cancels) the first flip after the [mod dlanes] wrap. *)
+type experiment = {
+  at : int;
+  lane : int;
+  bit : int;
+  second : (int * int) option;
+}
 
 let run_with (spec : run_spec) (cfg : Cpu.Machine.config) : Cpu.Machine.result =
   let machine = Cpu.Machine.create ~cfg ~flags_cmp:spec.flags_cmp spec.modul in
@@ -65,37 +87,34 @@ let classify ~(golden : Cpu.Machine.result) (r : Cpu.Machine.result) : outcome =
   | Some Cpu.Machine.Deadlock -> Hang
   | Some _ -> Os_detected
   | None ->
-      if r.Cpu.Machine.output_digest = golden.Cpu.Machine.output_digest then
+      if not r.Cpu.Machine.fault_injected then Not_reached
+      else if r.Cpu.Machine.output_digest = golden.Cpu.Machine.output_digest then
         if r.Cpu.Machine.recovered_faults > 0 then Elzar_corrected else Masked
       else Sdc
+
+(* Runs one pre-drawn experiment and returns the raw machine result, so
+   callers can account simulated cycles as well as the outcome. *)
+let run_experiment (spec : run_spec) (e : experiment) : Cpu.Machine.result =
+  let cfg =
+    {
+      Cpu.Machine.default_config with
+      max_instrs = spec.max_instrs;
+      inject = Some { Cpu.Machine.at = e.at; lane = e.lane; bit = e.bit; second = e.second };
+    }
+  in
+  run_with spec cfg
 
 (* One experiment: flip [bit] of one lane of the destination of the [at]-th
    injection-eligible instruction. *)
 let inject_one (spec : run_spec) ~(golden : Cpu.Machine.result) ~(at : int) ~(lane : int)
     ~(bit : int) : outcome =
-  let cfg =
-    {
-      Cpu.Machine.default_config with
-      max_instrs = spec.max_instrs;
-      inject = Some { Cpu.Machine.at; lane; bit; second = None };
-    }
-  in
-  classify ~golden (run_with spec cfg)
+  classify ~golden (run_experiment spec { at; lane; bit; second = None })
 
 (* Multi-bit experiment: two flips in the same destination register
-   (paper §III-C's extended-recovery discussion).  With [same_value] the
-   second lane gets the same bit flipped — the adversarial pattern where
-   two corrupted replicas agree with each other. *)
+   (paper §III-C's extended-recovery discussion). *)
 let inject_two (spec : run_spec) ~(golden : Cpu.Machine.result) ~(at : int) ~(lane : int)
     ~(bit : int) ~(lane2 : int) ~(bit2 : int) : outcome =
-  let cfg =
-    {
-      Cpu.Machine.default_config with
-      max_instrs = spec.max_instrs;
-      inject = Some { Cpu.Machine.at; lane; bit; second = Some (lane2, bit2) };
-    }
-  in
-  classify ~golden (run_with spec cfg)
+  classify ~golden (run_experiment spec { at; lane; bit; second = Some (lane2, bit2) })
 
 type stats = {
   runs : int;
@@ -114,6 +133,7 @@ let add_outcome (s : stats) = function
   | Elzar_corrected -> { s with runs = s.runs + 1; corrected = s.corrected + 1 }
   | Masked -> { s with runs = s.runs + 1; masked = s.masked + 1 }
   | Sdc -> { s with runs = s.runs + 1; sdc = s.sdc + 1 }
+  | Not_reached -> s (* no fault injected: the run carries no information *)
 
 let pct part s = 100.0 *. float_of_int part /. float_of_int (max 1 s.runs)
 
@@ -121,39 +141,6 @@ let pct part s = 100.0 *. float_of_int part /. float_of_int (max 1 s.runs)
 let crashed_pct s = pct (s.hang + s.os_detected) s
 let correct_pct s = pct (s.corrected + s.masked) s
 let sdc_pct s = pct s.sdc s
-
-(* A full campaign of [n] independent injections with a seeded RNG. *)
-let campaign ?(seed = 42) ?(n = 300) (spec : run_spec) : stats =
-  let g = golden spec in
-  let sites = g.Cpu.Machine.inject_sites in
-  if sites = 0 then invalid_arg "Fault.campaign: no hardened code to inject into";
-  let rng = Random.State.make [| seed |] in
-  let s = ref empty_stats in
-  for _ = 1 to n do
-    let at = 1 + Random.State.int rng sites in
-    let lane = Random.State.int rng 32 in
-    let bit = Random.State.int rng 64 in
-    s := add_outcome !s (inject_one spec ~golden:g ~at ~lane ~bit)
-  done;
-  !s
-
-(* Campaign of double-bit faults; [same_bit] flips the same bit in two
-   different lanes (two replicas agreeing on a wrong value). *)
-let campaign_double ?(seed = 43) ?(n = 150) ?(same_bit = true) (spec : run_spec) : stats =
-  let g = golden spec in
-  let sites = g.Cpu.Machine.inject_sites in
-  if sites = 0 then invalid_arg "Fault.campaign_double: no hardened code to inject into";
-  let rng = Random.State.make [| seed |] in
-  let s = ref empty_stats in
-  for _ = 1 to n do
-    let at = 1 + Random.State.int rng sites in
-    let lane = Random.State.int rng 32 in
-    let lane2 = lane + 1 + Random.State.int rng 3 in
-    let bit = Random.State.int rng 64 in
-    let bit2 = if same_bit then bit else Random.State.int rng 64 in
-    s := add_outcome !s (inject_two spec ~golden:g ~at ~lane ~bit ~lane2 ~bit2)
-  done;
-  !s
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt "runs=%d crashed=%.1f%% correct=%.1f%% (corrected=%.1f%%) SDC=%.1f%%"

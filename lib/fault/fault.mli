@@ -2,7 +2,7 @@
     destination register of one randomly chosen dynamic instruction inside
     hardened code (one lane for YMM destinations, per the SEU model of
     §III-A), classified against a golden run into the outcomes of
-    Table I. *)
+    Table I.  Whole campaigns are driven by {!Campaign}. *)
 
 type outcome =
   | Hang  (** program became unresponsive *)
@@ -10,6 +10,9 @@ type outcome =
   | Elzar_corrected  (** a recovery routine ran and the output is correct *)
   | Masked  (** fault did not affect the output *)
   | Sdc  (** silent data corruption in the output *)
+  | Not_reached
+      (** injection site never executed — no fault was injected; campaigns
+          discard these and redraw rather than counting them as [Masked] *)
 
 val outcome_to_string : outcome -> string
 
@@ -32,11 +35,29 @@ val make_spec :
   string ->
   run_spec
 
+(** One pre-drawn experiment: flip [bit] of one lane of the destination of
+    the [at]-th injection-eligible instruction, plus an optional second
+    (lane, bit) flip for multi-bit SEUs (resolved to a non-aliasing target
+    by {!Cpu.Machine.second_flip}). *)
+type experiment = {
+  at : int;
+  lane : int;
+  bit : int;
+  second : (int * int) option;
+}
+
 (** Fault-free reference run; counts the injection-eligible dynamic
     instructions.  @raise Invalid_argument if the reference run traps. *)
 val golden : run_spec -> Cpu.Machine.result
 
+(** Classification against the golden run.  A run whose injection site was
+    never reached ([fault_injected = false]) is [Not_reached], not
+    [Masked] — counting it as correct would inflate [correct_pct]. *)
 val classify : golden:Cpu.Machine.result -> Cpu.Machine.result -> outcome
+
+(** Runs one experiment and returns the raw machine result (outcome via
+    {!classify}; simulated cycles via [wall_cycles]). *)
+val run_experiment : run_spec -> experiment -> Cpu.Machine.result
 
 (** One experiment: flip [bit] of one lane of the destination of the
     [at]-th injection-eligible instruction. *)
@@ -64,6 +85,9 @@ type stats = {
 }
 
 val empty_stats : stats
+
+(** Folds one outcome into the counters.  [Not_reached] leaves the stats
+    unchanged: such a run injected nothing and must not dilute the rates. *)
 val add_outcome : stats -> outcome -> stats
 
 (** The three Fig. 13 bars. *)
@@ -71,12 +95,4 @@ val crashed_pct : stats -> float
 
 val correct_pct : stats -> float
 val sdc_pct : stats -> float
-
-(** [campaign ~seed ~n spec] runs [n] independent injections. *)
-val campaign : ?seed:int -> ?n:int -> run_spec -> stats
-
-(** Double-bit campaign; [same_bit] flips the same bit in two lanes (the
-    adversarial two-agreeing-corrupt-replicas pattern). *)
-val campaign_double : ?seed:int -> ?n:int -> ?same_bit:bool -> run_spec -> stats
-
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,5 +1,7 @@
 (* Fault-injection framework tests: classification, correction properties,
-   the window of vulnerability and its closure by future-AVX. *)
+   the window of vulnerability and its closure by future-AVX, and the
+   parallel campaign engine (determinism across worker counts, redraw of
+   unreached sites, checkpoint/resume, non-aliasing double flips). *)
 
 let check_bool = Alcotest.(check bool)
 
@@ -44,7 +46,7 @@ let test_pure_compute_always_protected () =
     | Fault.Elzar_corrected ->
         incr corrected
     | Fault.Masked -> ()
-    | Fault.Hang | Fault.Os_detected | Fault.Sdc -> incr bad
+    | Fault.Hang | Fault.Os_detected | Fault.Sdc | Fault.Not_reached -> incr bad
   done;
   (* the only unprotected dataflow is the single return-value extract
      (the same window-of-vulnerability class as §V-C) *)
@@ -66,16 +68,134 @@ let test_native_is_vulnerable () =
 
 let test_campaign_stats_consistent () =
   let spec = spec_of (Elzar.Hardened Elzar.Harden_config.default) in
-  let s = Fault.campaign ~seed:7 ~n:40 spec in
+  let r = Campaign.single ~seed:7 ~n:40 ~jobs:1 spec in
+  let s = r.Campaign.stats in
   Alcotest.(check int) "runs counted" 40 s.Fault.runs;
   Alcotest.(check int) "outcomes partition runs" 40
-    (s.Fault.hang + s.Fault.os_detected + s.Fault.corrected + s.Fault.masked + s.Fault.sdc)
+    (s.Fault.hang + s.Fault.os_detected + s.Fault.corrected + s.Fault.masked + s.Fault.sdc);
+  Alcotest.(check int) "outcomes array matches plan" 40 (Array.length r.Campaign.outcomes)
 
-let test_campaign_deterministic () =
+(* The engine's core guarantee: pre-drawn experiments make the stats
+   bit-identical no matter how many worker domains execute them. *)
+let test_campaign_parallel_deterministic () =
   let spec = spec_of (Elzar.Hardened Elzar.Harden_config.default) in
-  let a = Fault.campaign ~seed:13 ~n:25 spec in
-  let b = Fault.campaign ~seed:13 ~n:25 spec in
-  check_bool "same seed, same stats" true (a = b)
+  let r1 = Campaign.single ~seed:13 ~n:24 ~jobs:1 spec in
+  let r2 = Campaign.single ~seed:13 ~n:24 ~jobs:2 spec in
+  let r4 = Campaign.single ~seed:13 ~n:24 ~jobs:4 spec in
+  check_bool "1 vs 2 workers: same stats" true (r1.Campaign.stats = r2.Campaign.stats);
+  check_bool "1 vs 4 workers: same stats" true (r1.Campaign.stats = r4.Campaign.stats);
+  check_bool "1 vs 2 workers: same per-experiment outcomes" true
+    (r1.Campaign.outcomes = r2.Campaign.outcomes);
+  check_bool "1 vs 4 workers: same per-experiment outcomes" true
+    (r1.Campaign.outcomes = r4.Campaign.outcomes);
+  let d1 = Campaign.double ~seed:17 ~n:12 ~jobs:1 spec in
+  let d4 = Campaign.double ~seed:17 ~n:12 ~jobs:4 spec in
+  check_bool "double campaign: 1 vs 4 workers identical" true
+    (d1.Campaign.stats = d4.Campaign.stats && d1.Campaign.outcomes = d4.Campaign.outcomes)
+
+(* An experiment whose site is never executed must be classified
+   Not_reached (and discarded by campaigns), not Masked. *)
+let test_not_reached () =
+  let spec = spec_of (Elzar.Hardened Elzar.Harden_config.default) in
+  let golden = Fault.golden spec in
+  let sites = golden.Cpu.Machine.inject_sites in
+  let r =
+    Fault.run_experiment spec { Fault.at = (10 * sites) + 1; lane = 0; bit = 5; second = None }
+  in
+  check_bool "no fault injected" false r.Cpu.Machine.fault_injected;
+  check_bool "classified Not_reached" true (Fault.classify ~golden r = Fault.Not_reached);
+  check_bool "Not_reached does not dilute stats" true
+    (Fault.add_outcome Fault.empty_stats Fault.Not_reached = Fault.empty_stats)
+
+(* Interrupt a checkpointed campaign partway, then resume it: the resumed
+   run must restore the completed experiments instead of re-executing them
+   and end with exactly the stats of an uninterrupted run. *)
+let test_checkpoint_resume () =
+  let spec = spec_of (Elzar.Hardened Elzar.Harden_config.default) in
+  let path = Filename.temp_file "elzar_campaign" ".ck" in
+  Sys.remove path;
+  let baseline = Campaign.single ~seed:21 ~n:40 ~jobs:1 spec in
+  let interrupted =
+    match
+      Campaign.single ~seed:21 ~n:40 ~jobs:1 ~checkpoint:path
+        ~progress:(fun p -> if p.Campaign.completed >= 35 then raise Exit)
+        spec
+    with
+    | _ -> false
+    | exception Exit -> true
+  in
+  check_bool "campaign interrupted" true interrupted;
+  check_bool "checkpoint file written" true (Sys.file_exists path);
+  let resumed = Campaign.single ~seed:21 ~n:40 ~jobs:1 ~checkpoint:path spec in
+  check_bool "resumed campaign matches uninterrupted stats" true
+    (resumed.Campaign.stats = baseline.Campaign.stats);
+  check_bool "resume re-executed only the remainder" true
+    (resumed.Campaign.experiments_run < 40);
+  check_bool "checkpoint removed after completion" true (not (Sys.file_exists path))
+
+(* ---- property: the second flip of a double-bit SEU never aliases the
+   first after the wrap to the destination's lane count (the bug this
+   guards against silently turned double campaigns into fault-free runs) *)
+
+let prop_second_flip_never_cancels =
+  QCheck.Test.make ~count:1000 ~name:"second flip never cancels the first"
+    QCheck.(
+      quad (int_range 1 8) (int_bound 31) (int_bound 63) (pair (int_bound 200) (int_bound 63)))
+    (fun (dlanes, lane, bit, (lane2, bit2)) ->
+      let l2, b2 = Cpu.Machine.second_flip ~dlanes ~lane ~bit ~lane2 ~bit2 in
+      let l1 = lane mod dlanes and b1 = bit land 63 in
+      l2 >= 0 && l2 < dlanes && b2 >= 0 && b2 < 64 && (l2, b2) <> (l1, b1))
+
+(* The campaign's own draw: the raw second lane is always at a non-zero
+   offset so the common 4-lane destinations never alias even pre-wrap. *)
+let prop_draw_double_distinct =
+  QCheck.Test.make ~count:300 ~name:"draw_double lanes distinct for 4-lane destinations"
+    QCheck.(pair small_nat (int_range 1 5000))
+    (fun (seed, sites) ->
+      let rng = Random.State.make [| seed |] in
+      let e = Campaign.draw_double rng ~sites in
+      match e.Fault.second with
+      | Some (lane2, _) -> (lane2 - e.Fault.lane) mod 4 <> 0 && lane2 <> e.Fault.lane
+      | None -> false)
+
+(* ---- property: an injected flip actually changes the destination
+   register.  The kernel is a chain of bijective ops (xor/add/odd-mul), so
+   if the flip lands, the final output MUST differ from the golden run —
+   an unchanged output would mean the flip never hit the register. *)
+
+let bijective_chain_module () =
+  let m = Ir.Builder.create_module () in
+  let open Ir.Builder in
+  let b, ps = func m "kernel" [ ("x", Ir.Types.i64) ] ~ret:Ir.Types.i64 in
+  let x = match ps with [ p ] -> Ir.Instr.Reg p | _ -> assert false in
+  let t1 = xor b x (i64c 0x5A5A5A5A) in
+  let t2 = add b t1 (i64c 0x1234567) in
+  let t3 = mul b t2 (i64c 0x9E3779B1) in
+  let t4 = xor b t3 (i64c 0x0F0F0F0F) in
+  ret b (Some t4);
+  let b, _ = func m ~hardened:false "main" [ ("n", Ir.Types.i64) ] in
+  let r = callv b ~ret:Ir.Types.i64 "kernel" [ i64c 987654321 ] in
+  call0 b "output_i64" [ r ];
+  ret b None;
+  m
+
+let prop_flip_changes_register =
+  let spec =
+    Fault.make_spec (Elzar.prepare Elzar.Native_novec (bijective_chain_module ())) "main"
+      ~args:[| 1L |]
+  in
+  let golden = Fault.golden spec in
+  let sites = golden.Cpu.Machine.inject_sites in
+  QCheck.Test.make ~count:200 ~name:"injected flip changes the destination register"
+    QCheck.(triple small_nat (int_bound 63) (int_bound 31))
+    (fun (k, bit, lane) ->
+      let at = 1 + (k mod sites) in
+      let r = Fault.run_experiment spec { Fault.at; lane; bit; second = None } in
+      (* the site is always reached, the flip always lands, and — every op
+         being a bijection in the flipped register — always propagates *)
+      r.Cpu.Machine.fault_injected
+      && r.Cpu.Machine.output_bytes <> golden.Cpu.Machine.output_bytes
+      && Fault.classify ~golden r = Fault.Sdc)
 
 (* The extended recovery handles every single-bit fault the basic one does. *)
 let test_extended_recovery () =
@@ -89,7 +209,7 @@ let test_extended_recovery () =
   for k = 0 to 50 do
     let at = 1 + (k * 13 mod sites) in
     match Fault.inject_one spec ~golden ~at ~lane:(k mod 4) ~bit:((k * 3) mod 64) with
-    | Fault.Hang | Fault.Os_detected | Fault.Sdc -> incr bad
+    | Fault.Hang | Fault.Os_detected | Fault.Sdc | Fault.Not_reached -> incr bad
     | Fault.Elzar_corrected | Fault.Masked -> ()
   done;
   check_bool "extended recovery: at most the return window leaks" true (!bad <= 2)
@@ -131,7 +251,12 @@ let tests =
     Alcotest.test_case "pure compute fully protected" `Slow test_pure_compute_always_protected;
     Alcotest.test_case "native is vulnerable" `Quick test_native_is_vulnerable;
     Alcotest.test_case "campaign stats partition" `Quick test_campaign_stats_consistent;
-    Alcotest.test_case "campaign determinism" `Quick test_campaign_deterministic;
+    Alcotest.test_case "campaign parallel determinism" `Quick
+      test_campaign_parallel_deterministic;
+    Alcotest.test_case "not-reached sites are discarded" `Quick test_not_reached;
+    Alcotest.test_case "checkpoint and resume" `Quick test_checkpoint_resume;
     Alcotest.test_case "extended recovery" `Slow test_extended_recovery;
     Alcotest.test_case "future-AVX closes the window" `Slow test_future_avx_corrects;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_second_flip_never_cancels; prop_draw_double_distinct; prop_flip_changes_register ]
