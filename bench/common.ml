@@ -24,7 +24,8 @@ let fi_progress_cb tag : (Campaign.progress -> unit) option =
             "\r%-24s %d/%d injections  (%.0fs elapsed, eta %.0fs, SDC %d, crashed %d)   %!"
             tag p.Campaign.completed p.Campaign.total p.Campaign.elapsed p.Campaign.eta
             p.Campaign.running.Fault.sdc
-            (p.Campaign.running.Fault.hang + p.Campaign.running.Fault.os_detected);
+            (p.Campaign.running.Fault.hang + p.Campaign.running.Fault.deadlock
+           + p.Campaign.running.Fault.os_detected);
         if p.Campaign.completed >= p.Campaign.total then prerr_newline ())
 
 (* Accumulates campaign observability totals for a figure's footer line. *)
@@ -97,6 +98,7 @@ let run ?(nthreads = 16) ?size:size_opt (w : Workloads.Workload.t) (f : flavour)
       let m = prepared w f size in
       let r =
         Workloads.Workload.execute_prepared w ~prepared:m
+          ~reexec_retries:(Elzar.reexec_retries f.build)
           ~flags_cmp:(Elzar.uses_flags_cmp f.build) ~nthreads ~size
       in
       (match r.Cpu.Machine.trap with

@@ -14,6 +14,7 @@ let experiments =
     ("fig12", Fig12.run);
     ("tab3", Tab03.run);
     ("fig13", Fig13.run);
+    ("fig13x", Fig13x.run);
     ("fig14", Fig14.run);
     ("floatonly", Floatonly.run);
     ("fig15", Fig15.run);

@@ -25,6 +25,8 @@ let build_of_string = function
   | "elzar-nochecks" -> Ok (Elzar.Hardened Elzar.Harden_config.no_checks)
   | "elzar-floats" -> Ok (Elzar.Hardened Elzar.Harden_config.floats_only)
   | "elzar-future" -> Ok (Elzar.Hardened Elzar.Harden_config.future_avx)
+  | "elzar-extended" -> Ok (Elzar.Hardened Elzar.Harden_config.extended)
+  | "elzar-reexec" -> Ok (Elzar.Hardened Elzar.Harden_config.reexec)
   | "swiftr" -> Ok Elzar.Swiftr
   | s -> Error (`Msg ("unknown build " ^ s))
 
@@ -34,7 +36,7 @@ let build_conv =
 
 let build_arg =
   Arg.(value & opt build_conv (Elzar.Hardened Elzar.Harden_config.default)
-       & info [ "b"; "build" ] ~doc:"Build flavour: native, novec, elzar, elzar-nochecks, elzar-floats, elzar-future, swiftr.")
+       & info [ "b"; "build" ] ~doc:"Build flavour: native, novec, elzar, elzar-nochecks, elzar-floats, elzar-future, elzar-extended, elzar-reexec, swiftr.")
 
 let size_arg =
   Arg.(value & opt size_conv Workloads.Workload.Small & info [ "s"; "size" ] ~doc:"Input size.")
@@ -85,7 +87,7 @@ let run_cmd =
 (* ---- inject ---- *)
 
 let inject_cmd =
-  let run name build n seed jobs double same_bit checkpoint quiet =
+  let run name build n seed jobs double same_bit model avf checkpoint quiet =
     let w = Workloads.Registry.find name in
     let spec = Workloads.Workload.fi_spec w ~build () in
     let progress =
@@ -99,11 +101,20 @@ let inject_cmd =
                 p.Campaign.completed p.Campaign.total p.Campaign.elapsed p.Campaign.eta;
             if p.Campaign.completed >= p.Campaign.total then prerr_newline ())
     in
+    let model = Fault.model_of_string model in
     let report =
       if double then Campaign.double ~seed ~n ~same_bit ?jobs ?progress ?checkpoint spec
-      else Campaign.single ~seed ~n ?jobs ?progress ?checkpoint spec
+      else
+        match model with
+        | Fault.Reg -> Campaign.single ~seed ~n ?jobs ?progress ?checkpoint spec
+        | m -> Campaign.model_campaign ~seed ~n ?jobs ?progress ?checkpoint ~model:m spec
     in
     Format.printf "%a@." Fault.pp_stats report.Campaign.stats;
+    let obs = Array.map snd report.Campaign.outcomes in
+    (match Fault.mean_latency obs with
+    | Some l -> Format.printf "mean detection latency: %.0f instrs@." l
+    | None -> ());
+    if avf then Format.printf "%a" Fault.pp_avf (Fault.avf_table obs);
     Format.printf "%a@." Campaign.pp_totals report
   in
   let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
@@ -117,6 +128,18 @@ let inject_cmd =
   in
   let double =
     Arg.(value & flag & info [ "double" ] ~doc:"Double-bit campaign (two flips, §III-C).")
+  in
+  let model =
+    Arg.(value & opt string "reg"
+         & info [ "fault-model" ] ~docv:"MODEL"
+             ~doc:"Fault model: reg (register SEUs, the paper's §IV-B campaign), mem \
+                   (memory bit-flips), addr (effective-address faults), cf (control-flow \
+                   faults), or mixed. Ignored with --double.")
+  in
+  let avf =
+    Arg.(value & flag
+         & info [ "avf" ]
+             ~doc:"Print the per-instruction-class vulnerability (AVF) table.")
   in
   let same_bit =
     Arg.(value & opt bool true
@@ -133,8 +156,8 @@ let inject_cmd =
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the progress meter.") in
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
-    Term.(const run $ name_arg $ build_arg $ n $ seed $ jobs $ double $ same_bit $ checkpoint
-          $ quiet)
+    Term.(const run $ name_arg $ build_arg $ n $ seed $ jobs $ double $ same_bit $ model
+          $ avf $ checkpoint $ quiet)
 
 (* ---- show ---- *)
 

@@ -52,10 +52,21 @@ let uses_flags_cmp = function
   | Hardened cfg -> cfg.Harden_config.future_avx
   | Native | Native_novec | Swiftr | Swiftr_norepair -> false
 
+(* Re-execution budget the machine must be configured with for this build:
+   nonzero only for ELZAR builds with [Reexec] recovery. *)
+let reexec_retries = function
+  | Hardened { Harden_config.recovery = Harden_config.Reexec k; _ } -> k
+  | Hardened _ | Native | Native_novec | Swiftr | Swiftr_norepair -> 0
+
 (* Prepares and runs in one step. *)
 let run ?(machine_cfg = Cpu.Machine.default_config) ?(args = [||]) (b : build)
     (m : Ir.Instr.modul) (entry : string) : Cpu.Machine.result =
   let m' = prepare b m in
+  let machine_cfg =
+    { machine_cfg with
+      Cpu.Machine.reexec_retries =
+        max machine_cfg.Cpu.Machine.reexec_retries (reexec_retries b) }
+  in
   let machine = Cpu.Machine.create ~cfg:machine_cfg ~flags_cmp:(uses_flags_cmp b) m' in
   Cpu.Machine.run ~args machine entry
 

@@ -130,67 +130,110 @@ let recovery st (v : reg) (resume : terminator) : string =
         @ [ Select (m, Reg c, Reg e0, Reg en); Broadcast (v, Reg m) ]
       in
       st.extra <- (lab, { instrs; term = resume }) :: st.extra
-  | Harden_config.Extended ->
+  | Harden_config.Extended | Harden_config.Reexec _ ->
       (* full 4-element analysis (paper §III-C step 3, extended strategy):
          (1) >=3 identical -> broadcast the majority;
          (2) exactly one agreeing pair -> broadcast the pair's value;
-         (3) two 2-2 groups or all distinct -> no majority, fail-stop.
+         (3) two 2-2 groups or all distinct -> no majority.
          The cases are distinguished by the number of agreeing element
-         pairs: >=3, exactly 1, and anything else respectively. *)
-      let e0, i0 = ex 0 and e1, i1 = ex 1 in
-      let e2, i2 = ex 2 and e3, i3 = ex (min 3 (n - 1)) in
-      let pairs = [ (e0, e1); (e0, e2); (e0, e3); (e1, e2); (e1, e3); (e2, e3) ] in
-      let eqs = List.map (fun (a, b) -> lane_eq st a b) pairs in
-      let total = fresh st ~name:"total" Types.i64 in
-      let count_is =
-        List.concat_map
-          (fun (c, _) ->
-            let z = fresh st ~name:"z" Types.i64 in
-            [ Cast (z, Zext, Reg c); Binop (total, Add, Reg total, Reg z) ])
-          eqs
-      in
-      let cs = List.map fst eqs in
-      let c01, c02, c03, c12, c13 =
-        match cs with
-        | [ a; b; c; d; e; _ ] -> (a, b, c, d, e)
-        | _ -> assert false
-      in
-      (* an element belonging to some agreeing pair: e0 if it matches
-         anything, else e1, else e2 (a pair not involving e0/e1 must be
-         (e2,e3)) *)
-      let e0any1 = fresh st ~name:"p" Types.i1 in
-      let e0any = fresh st ~name:"p" Types.i1 in
-      let e1any = fresh st ~name:"p" Types.i1 in
-      let m12 = fresh st ~name:"m12" sc in
-      let m = fresh st ~name:"maj" sc in
-      let pick_is =
-        [
-          Binop (e0any1, Or, Reg c01, Reg c02);
-          Binop (e0any, Or, Reg e0any1, Reg c03);
-          Binop (e1any, Or, Reg c12, Reg c13);
-          Select (m12, Reg e1any, Reg e1, Reg e2);
-          Select (m, Reg e0any, Reg e0, Reg m12);
-        ]
-      in
-      let has_majority = fresh st ~name:"hasmaj" Types.i1 in
-      let is_pair = fresh st ~name:"ispair" Types.i1 in
-      let head =
-        [ Call (None, "elzar_recovered", []); i0; i1; i2; i3;
-          Mov (total, Imm (Types.i64, 0L)) ]
-        @ List.concat_map snd eqs @ count_is @ pick_is
-        @ [
-            Icmp (has_majority, Isge, Reg total, Imm (Types.i64, 3L));
-            Icmp (is_pair, Ieq, Reg total, Imm (Types.i64, 1L));
+         pairs: >=3, exactly 1, and anything else respectively.
+         [Extended] fail-stops on no majority; [Reexec k] re-extracts the
+         lanes and retries the vote up to [k] times, then calls the
+         [elzar_reexec] runtime (checkpointed re-execution of the whole
+         hardened call) before the machine finally fail-stops. *)
+      let vote_analysis () =
+        let e0, i0 = ex 0 and e1, i1 = ex 1 in
+        let e2, i2 = ex 2 and e3, i3 = ex (min 3 (n - 1)) in
+        let pairs = [ (e0, e1); (e0, e2); (e0, e3); (e1, e2); (e1, e3); (e2, e3) ] in
+        let eqs = List.map (fun (a, b) -> lane_eq st a b) pairs in
+        let total = fresh st ~name:"total" Types.i64 in
+        let count_is =
+          List.concat_map
+            (fun (c, _) ->
+              let z = fresh st ~name:"z" Types.i64 in
+              [ Cast (z, Zext, Reg c); Binop (total, Add, Reg total, Reg z) ])
+            eqs
+        in
+        let cs = List.map fst eqs in
+        let c01, c02, c03, c12, c13 =
+          match cs with
+          | [ a; b; c; d; e; _ ] -> (a, b, c, d, e)
+          | _ -> assert false
+        in
+        (* an element belonging to some agreeing pair: e0 if it matches
+           anything, else e1, else e2 (a pair not involving e0/e1 must be
+           (e2,e3)) *)
+        let e0any1 = fresh st ~name:"p" Types.i1 in
+        let e0any = fresh st ~name:"p" Types.i1 in
+        let e1any = fresh st ~name:"p" Types.i1 in
+        let m12 = fresh st ~name:"m12" sc in
+        let m = fresh st ~name:"maj" sc in
+        let pick_is =
+          [
+            Binop (e0any1, Or, Reg c01, Reg c02);
+            Binop (e0any, Or, Reg e0any1, Reg c03);
+            Binop (e1any, Or, Reg c12, Reg c13);
+            Select (m12, Reg e1any, Reg e1, Reg e2);
+            Select (m, Reg e0any, Reg e0, Reg m12);
           ]
+        in
+        let has_majority = fresh st ~name:"hasmaj" Types.i1 in
+        let is_pair = fresh st ~name:"ispair" Types.i1 in
+        let instrs =
+          [ i0; i1; i2; i3; Mov (total, Imm (Types.i64, 0L)) ]
+          @ List.concat_map snd eqs @ count_is @ pick_is
+          @ [
+              Icmp (has_majority, Isge, Reg total, Imm (Types.i64, 3L));
+              Icmp (is_pair, Ieq, Reg total, Imm (Types.i64, 1L));
+            ]
+        in
+        (instrs, has_majority, is_pair, m)
       in
-      let vote = flabel st "vote" in
-      let chk_pair = flabel st "pair" in
-      let fatal = ensure_fatal st in
-      st.extra <-
-        (vote, { instrs = [ Broadcast (v, Reg m) ]; term = resume })
-        :: (chk_pair, { instrs = []; term = Cond_br (Reg is_pair, vote, fatal) })
-        :: (lab, { instrs = head; term = Cond_br (Reg has_majority, vote, chk_pair) })
-        :: st.extra);
+      (match st.cfg.recovery with
+      | Harden_config.Extended ->
+          let instrs, has_majority, is_pair, m = vote_analysis () in
+          let head = Call (None, "elzar_recovered", []) :: instrs in
+          let vote = flabel st "vote" in
+          let chk_pair = flabel st "pair" in
+          let fatal = ensure_fatal st in
+          st.extra <-
+            (vote, { instrs = [ Broadcast (v, Reg m) ]; term = resume })
+            :: (chk_pair, { instrs = []; term = Cond_br (Reg is_pair, vote, fatal) })
+            :: (lab, { instrs = head; term = Cond_br (Reg has_majority, vote, chk_pair) })
+            :: st.extra
+      | Harden_config.Reexec k ->
+          let tries = fresh st ~name:"tries" Types.i64 in
+          let exhausted = fresh st ~name:"exh" Types.i1 in
+          let loop = flabel st "revote" in
+          let chk_pair = flabel st "pair" in
+          let retry = flabel st "retry" in
+          let reex = flabel st "reexec" in
+          let vote = flabel st "vote" in
+          let instrs, has_majority, is_pair, m = vote_analysis () in
+          st.extra <-
+            (vote, { instrs = [ Broadcast (v, Reg m) ]; term = resume })
+            :: ( reex,
+                 { instrs = [ Call (None, "elzar_reexec", []) ]; term = Unreachable } )
+            :: ( retry,
+                 {
+                   instrs =
+                     [
+                       Call (None, "elzar_retried", []);
+                       Binop (tries, Add, Reg tries, Imm (Types.i64, 1L));
+                       Icmp (exhausted, Isge, Reg tries, Imm (Types.i64, Int64.of_int k));
+                     ];
+                   term = Cond_br (Reg exhausted, reex, loop);
+                 } )
+            :: (chk_pair, { instrs = []; term = Cond_br (Reg is_pair, vote, retry) })
+            :: (loop, { instrs; term = Cond_br (Reg has_majority, vote, chk_pair) })
+            :: ( lab,
+                 {
+                   instrs =
+                     [ Call (None, "elzar_recovered", []); Mov (tries, Imm (Types.i64, 0L)) ];
+                   term = Br loop;
+                 } )
+            :: st.extra
+      | Harden_config.Basic -> assert false));
   lab
 
 (* Inserts the shuffle-xor-ptest check of Fig. 8 on a protected register

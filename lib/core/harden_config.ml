@@ -9,6 +9,11 @@
 type recovery =
   | Basic  (** compare the two low lanes, broadcast lane 0 or lane n-1 *)
   | Extended  (** 3-lane majority vote; [elzar_fatal] when no majority *)
+  | Reexec of int
+      (** like [Extended], but on no-majority re-extract the lanes and
+          retry the vote up to the given bound, then hand over to the
+          [elzar_reexec] runtime (checkpointed re-execution of the whole
+          hardened call) before finally fail-stopping *)
 
 type mode = Full | Floats_only
 
@@ -47,10 +52,18 @@ let no_checks =
 
 let floats_only = { default with mode = Floats_only }
 let future_avx = { default with future_avx = true }
+let extended = { default with recovery = Extended }
+
+(* Re-execution recovery: two in-place re-votes, then one checkpointed
+   re-execution of the whole hardened call. *)
+let reexec = { default with recovery = Reexec 2 }
 
 let to_string (c : t) =
   Printf.sprintf "checks[loads=%b stores=%b branches=%b calls=%b] mode=%s%s recovery=%s"
     c.check_loads c.check_stores c.check_branches c.check_calls
     (match c.mode with Full -> "full" | Floats_only -> "floats-only")
     (if c.future_avx then " future-avx" else "")
-    (match c.recovery with Basic -> "basic" | Extended -> "extended")
+    (match c.recovery with
+    | Basic -> "basic"
+    | Extended -> "extended"
+    | Reexec k -> Printf.sprintf "reexec(%d)" k)

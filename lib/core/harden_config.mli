@@ -5,6 +5,10 @@
 type recovery =
   | Basic  (** compare the two low lanes, broadcast lane 0 or lane n-1 *)
   | Extended  (** 3-lane majority vote; [elzar_fatal] when no majority *)
+  | Reexec of int
+      (** [Extended] plus a bounded re-vote loop and, as a last resort,
+          checkpointed re-execution of the hardened call via the
+          [elzar_reexec] runtime marker *)
 
 type mode = Full | Floats_only
 
@@ -29,4 +33,12 @@ val no_mem_branch_checks : t
 val no_checks : t
 val floats_only : t
 val future_avx : t
+
+(** [default] with [Extended] recovery. *)
+val extended : t
+
+(** [default] with [Reexec 2] recovery: two in-place re-votes, then one
+    checkpointed re-execution of the hardened call. *)
+val reexec : t
+
 val to_string : t -> string

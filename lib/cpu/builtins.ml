@@ -3,9 +3,10 @@
     Calls to functions not defined in the linked IR module resolve here.
     These model the parts the paper deliberately leaves unhardened — OS
     interfaces, pthreads, I/O (§IV-A: "their execution takes less than ~5%
-    of the overall time") — plus the two ELZAR runtime markers.  Semantics
-    live in {!Machine}; this module only fixes identities, arities and
-    fixed cycle costs. *)
+    of the overall time") — plus the ELZAR runtime markers ([elzar_fatal],
+    [elzar_recovered], [elzar_retried], [elzar_reexec]).  Semantics live
+    in {!Machine}; this module only fixes identities, arities and fixed
+    cycle costs. *)
 
 type spec = {
   id : int;
@@ -32,6 +33,8 @@ let specs =
     { id = 12; name = "elzar_recovered"; arity = 0; has_ret = false; cycles = 30 };
     { id = 13; name = "thread_id"; arity = 0; has_ret = true; cycles = 10 };
     { id = 14; name = "barrier"; arity = 2; has_ret = false; cycles = 80 };
+    { id = 15; name = "elzar_retried"; arity = 0; has_ret = false; cycles = 30 };
+    { id = 16; name = "elzar_reexec"; arity = 0; has_ret = false; cycles = 0 };
   |]
 
 let find name = Array.find_opt (fun s -> s.name = name) specs

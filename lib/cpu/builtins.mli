@@ -1,7 +1,8 @@
 (** Catalogue of native builtins: the unhardened OS/pthreads/IO layer
-    (paper §IV-A) plus the two ELZAR runtime markers ([elzar_fatal],
-    [elzar_recovered]).  Semantics live in {!Machine}; this module fixes
-    identities, arities and fixed cycle costs. *)
+    (paper §IV-A) plus the ELZAR runtime markers ([elzar_fatal],
+    [elzar_recovered], [elzar_retried], [elzar_reexec]).  Semantics live
+    in {!Machine}; this module fixes identities, arities and fixed cycle
+    costs. *)
 
 type spec = {
   id : int;

@@ -41,6 +41,30 @@ type frame = {
 
 type status = Running | Waiting of int | Waiting_barrier of int64 | Done
 
+(* Re-execution checkpoint: everything needed to restart the outermost
+   hardened call of a thread from scratch (RepTFD-style replay recovery).
+   The undo log records (address, width, old value) for every simulated
+   store the thread performs while the checkpoint is live; rollback
+   replays it newest-first.  Builtins with externally visible effects
+   (locks, spawns, allocation) invalidate the checkpoint instead. *)
+type ckpt = {
+  ck_cf : Code.cfunc;
+  ck_args : int64 array;  (** scalar arguments as passed at the call *)
+  ck_ret_off : int;
+  ck_sp : int64;
+  ck_caller : frame list;  (** the frames below the checkpointed one *)
+  ck_out_len : int;  (** program-output length at checkpoint time *)
+  mutable ck_frame : frame;  (** the live checkpointed frame (physical identity) *)
+  mutable ck_log : (int64 * int * int64) list;
+  mutable ck_log_len : int;
+  mutable ck_valid : bool;
+  mutable ck_tries : int;  (** rollbacks consumed *)
+}
+
+(* Undo-log length bound; a hardened call writing more than this simply
+   loses re-execution coverage (the checkpoint is invalidated). *)
+let ck_log_cap = 200_000
+
 type thread = {
   tid : int;
   mutable frames : frame list;
@@ -52,7 +76,26 @@ type thread = {
   mutable sp : int64;
   start_cycle : int;
   mutable final_cycle : int;
+  mutable ck : ckpt option;
 }
+
+(* The transient-fault taxonomy (§VII discusses exactly the non-register
+   faults the paper's campaign does not model): register SEUs (the paper's
+   §IV-B model), bit-flips in simulated memory, effective-address faults on
+   loads/stores, and control-flow faults diverting a conditional branch. *)
+type fault_kind =
+  | Reg_flip  (** flip bit(s) in the destination register (default) *)
+  | Mem_flip
+      (** flip one bit of a byte touched by the [at]-th memory access,
+          right after that access (visible to the at+1-th access of it) *)
+  | Addr_flip  (** flip one bit of the [at]-th load/store's effective address *)
+  | Branch_flip  (** divert the [at]-th conditional branch to the wrong successor *)
+
+let fault_kind_to_string = function
+  | Reg_flip -> "reg"
+  | Mem_flip -> "mem"
+  | Addr_flip -> "addr"
+  | Branch_flip -> "cf"
 
 type inject = {
   at : int;
@@ -60,6 +103,7 @@ type inject = {
   bit : int;
   second : (int * int) option;  (** optional second (lane, bit) flip in the
                                     same destination — multi-bit SEU *)
+  kind : fault_kind;
 }
 
 (* Resolves the second flip of a multi-bit SEU against the destination's
@@ -86,6 +130,11 @@ type config = {
   inject : inject option;
   count_inject_sites : bool;
   stack_size : int;
+  reexec_retries : int;
+      (** re-execution recovery budget: >0 checkpoints each outermost
+          hardened call (registers, stack pointer, a memory undo log) so
+          the [elzar_reexec] runtime marker can roll the thread back and
+          retry the whole call that many times before fail-stopping *)
   trace : Buffer.t option;
       (** per-instruction execution trace (requires [debug] compilation);
           capped at ~1 MB — the Intel SDE debugtrace analogue of §IV-B *)
@@ -97,6 +146,7 @@ let default_config =
     inject = None;
     count_inject_sites = false;
     stack_size = 1 lsl 17;
+    reexec_retries = 0;
     trace = None;
   }
 
@@ -110,8 +160,18 @@ type t = {
   cfg : config;
   mutable total_instrs : int;
   mutable inj_count : int;  (** injection-eligible instructions executed *)
+  mutable mem_count : int;  (** hardened-code memory accesses executed *)
+  mutable br_count : int;  (** hardened-code conditional branches executed *)
   mutable injected : bool;
   mutable recovered : int;  (** recovery-routine activations *)
+  mutable retried : int;  (** recovery re-vote retries *)
+  mutable reexecs : int;  (** re-execution rollbacks performed *)
+  mutable addr_mask : int64;  (** armed address-fault XOR mask; 0 = disarmed *)
+  mutable mem_flip_armed : bool;
+  mutable cf_divert : bool;
+  mutable inject_instr : int;  (** [total_instrs] at injection time; -1 *)
+  mutable detect_instr : int;  (** [total_instrs] at first recovery/trap; -1 *)
+  mutable inject_class : string;  (** instruction class at the injection site *)
 }
 
 type result = {
@@ -122,8 +182,16 @@ type result = {
   output_bytes : string;
   trap : trap_reason option;
   recovered_faults : int;
+  retried_faults : int;
+  reexecutions : int;
   inject_sites : int;
+  mem_sites : int;
+  branch_sites : int;
   fault_injected : bool;
+  inject_class : string option;
+  detect_latency : int option;
+      (** dynamic instructions between injection and the first recovery
+          activation or trap; [None] if never detected *)
 }
 
 let create ?(cfg = default_config) ?(flags_cmp = false) (m : Ir.Instr.modul) : t =
@@ -139,8 +207,18 @@ let create ?(cfg = default_config) ?(flags_cmp = false) (m : Ir.Instr.modul) : t
     cfg;
     total_instrs = 0;
     inj_count = 0;
+    mem_count = 0;
+    br_count = 0;
     injected = false;
     recovered = 0;
+    retried = 0;
+    reexecs = 0;
+    addr_mask = 0L;
+    mem_flip_armed = false;
+    cf_divert = false;
+    inject_instr = -1;
+    detect_instr = -1;
+    inject_class = "";
   }
 
 (* Address of a named global, for host-side input preparation (the moral
@@ -200,8 +278,25 @@ let spawn_thread (m : t) (cf : Code.cfunc) (args : int64 array) ~(start_cycle : 
       sp;
       start_cycle;
       final_cycle = 0;
+      ck = None;
     }
   in
+  if m.cfg.reexec_retries > 0 && cf.Code.cf_hardened then
+    th.ck <-
+      Some
+        {
+          ck_cf = cf;
+          ck_args = Array.copy args;
+          ck_ret_off = -1;
+          ck_sp = sp;
+          ck_caller = [];
+          ck_out_len = Buffer.length m.output;
+          ck_frame = fr;
+          ck_log = [];
+          ck_log_len = 0;
+          ck_valid = true;
+          ck_tries = 0;
+        };
   m.threads <- th :: m.threads;
   m.nthreads <- m.nthreads + 1;
   th
@@ -225,15 +320,101 @@ let finish_thread (m : t) (th : thread) =
 
 let find_thread (m : t) tid = List.find_opt (fun th -> th.tid = tid) m.threads
 
+(* ---- fault bookkeeping ---- *)
+
+let mark_injected (m : t) (cls : string) =
+  if not m.injected then begin
+    m.injected <- true;
+    m.inject_instr <- m.total_instrs;
+    m.inject_class <- cls
+  end
+
+(* First point where the machine *reacted* to the injected fault — a
+   recovery-routine activation, a retry, a rollback, or a trap. *)
+let note_detect (m : t) =
+  if m.injected && m.detect_instr < 0 then m.detect_instr <- m.total_instrs
+
+let note_recovered (m : t) =
+  m.recovered <- m.recovered + 1;
+  note_detect m
+
+(* ---- re-execution checkpoints ---- *)
+
+let ck_invalidate (th : thread) =
+  match th.ck with Some ck -> ck.ck_valid <- false | None -> ()
+
+(* Program output is a single shared buffer: rollback truncates it to the
+   checkpointed length, which is only sound if no *other* thread appended
+   since.  Output from any thread therefore invalidates everyone else's
+   checkpoint. *)
+let ck_invalidate_others (m : t) (th : thread) =
+  List.iter (fun o -> if o.tid <> th.tid then ck_invalidate o) m.threads
+
+let ck_log_write (m : t) (th : thread) ~(width : int) (addr : int64) =
+  match th.ck with
+  | Some ck when ck.ck_valid ->
+      if ck.ck_log_len >= ck_log_cap then ck.ck_valid <- false
+      else begin
+        ck.ck_log <- (addr, width, Memory.read m.mem ~width addr) :: ck.ck_log;
+        ck.ck_log_len <- ck.ck_log_len + 1
+      end
+  | _ -> ()
+
+(* Fixed rollback cost: restoring registers and replaying the undo log is
+   the moral equivalent of a signal-handler round trip. *)
+let reexec_cycles = 400
+
+(* Rolls [th] back to its checkpoint: undoes logged stores newest-first
+   (so the oldest value of a twice-written cell wins), truncates this
+   thread's program output, and reinstalls a fresh frame with the original
+   arguments.  The one-shot injection already fired (its site counter was
+   consumed), so the re-execution is fault-free.  Returns [false] when no
+   valid checkpoint or no retry budget remains. *)
+let reexec_rollback (m : t) (th : thread) : bool =
+  match th.ck with
+  | Some ck when ck.ck_valid && ck.ck_tries < m.cfg.reexec_retries ->
+      ck.ck_tries <- ck.ck_tries + 1;
+      m.reexecs <- m.reexecs + 1;
+      note_detect m;
+      List.iter (fun (addr, w, v) -> Memory.write m.mem ~width:w addr v) ck.ck_log;
+      ck.ck_log <- [];
+      ck.ck_log_len <- 0;
+      if Buffer.length m.output > ck.ck_out_len then Buffer.truncate m.output ck.ck_out_len;
+      th.sp <- ck.ck_sp;
+      let nf = new_frame ck.ck_cf ~ret_off:ck.ck_ret_off ~sp:ck.ck_sp in
+      Array.iteri
+        (fun i v ->
+          if i < Array.length ck.ck_cf.Code.param_offs then begin
+            let off, lanes = ck.ck_cf.Code.param_offs.(i) in
+            for j = 0 to lanes - 1 do
+              nf.regs.(off + j) <- v
+            done
+          end)
+        ck.ck_args;
+      ck.ck_frame <- nf;
+      th.frames <- nf :: ck.ck_caller;
+      Timing.advance th.timing reexec_cycles;
+      true
+  | _ -> false
+
 (* ---- builtins ---- *)
 
-type baction = Bdone | Bretry | Bblock of int | Bbarrier of int64
+type baction = Bdone | Bretry | Bblock of int | Bbarrier of int64 | Breexec
 
 let exec_builtin (m : t) (th : thread) (fr : frame) (id : int) (args : int64 array)
     (dst : int) (dlanes : int) : baction =
   let spec = Builtins.get id in
   let retv = ref 0L in
   let action = ref Bdone in
+  (* Checkpoint discipline: builtins with externally visible effects end
+     re-execution coverage.  Output only invalidates *other* threads'
+     checkpoints (own output is rolled back by truncation); rand64's state
+     write is undo-logged like a normal store. *)
+  (match spec.Builtins.name with
+  | "thread_id" | "elzar_fatal" | "elzar_recovered" | "elzar_retried" | "elzar_reexec" -> ()
+  | "output_i64" | "output_f64" | "output_bytes" -> ck_invalidate_others m th
+  | "rand64" -> ()
+  | _ -> ck_invalidate th);
   (match spec.Builtins.name with
   | "malloc" ->
       let size = Int64.to_int args.(0) in
@@ -305,11 +486,16 @@ let exec_builtin (m : t) (th : thread) (fr : frame) (id : int) (args : int64 arr
       let s = Int64.logxor s (Int64.shift_left s 13) in
       let s = Int64.logxor s (Int64.shift_right_logical s 7) in
       let s = Int64.logxor s (Int64.shift_left s 17) in
+      ck_log_write m th ~width:8 args.(0);
       Memory.write m.mem ~width:8 args.(0) s;
       retv := Int64.mul s 0x2545F4914F6CDD1DL
   | "abort" -> raise (Trap Aborted)
   | "elzar_fatal" -> raise (Trap Elzar_fatal)
-  | "elzar_recovered" -> m.recovered <- m.recovered + 1
+  | "elzar_recovered" -> note_recovered m
+  | "elzar_retried" ->
+      m.retried <- m.retried + 1;
+      note_detect m
+  | "elzar_reexec" -> action := Breexec
   | "thread_id" -> retv := Int64.of_int th.tid
   | other -> failwith ("Machine.exec_builtin: unhandled builtin " ^ other));
   if !action = Bdone then begin
@@ -339,6 +525,27 @@ let majority4 ~(n : int) (get : int -> int64) : int64 =
   in
   pick 0
 
+(* Instruction class of an injection site, for the AVF-style per-class
+   vulnerability table. *)
+let class_of (op : Code.rinstr) : string =
+  match op with
+  | Code.Rbinop _ -> "alu"
+  | Code.Ricmp _ -> "cmp"
+  | Code.Rselect _ -> "select"
+  | Code.Rcast _ -> "cast"
+  | Code.Rmov _ -> "mov"
+  | Code.Rload _ | Code.Rvload _ | Code.Rgather _ -> "load"
+  | Code.Rstore _ | Code.Rvstore _ | Code.Rscatter _ -> "store"
+  | Code.Ralloca _ -> "alloca"
+  | Code.Rcall _ | Code.Rcall_ind _ -> "call"
+  | Code.Ratomic _ | Code.Rcmpxchg _ -> "atomic"
+  | Code.Rextract _ | Code.Rinsert _ | Code.Rbroadcast _ | Code.Rshuffle _
+  | Code.Rptestz _ ->
+      "vec"
+  | Code.Tret _ | Code.Tbr _ | Code.Tcondbr _ | Code.Tvbr _ | Code.Tvbr_u _
+  | Code.Tunreachable ->
+      "branch"
+
 (* Executes one instruction of [th]; returns [false] when the thread left
    the Running state or terminated. *)
 let step (m : t) (th : thread) : bool =
@@ -361,6 +568,39 @@ let step (m : t) (th : thread) : bool =
   if fl land Code.fl_load <> 0 then ctr.Counters.loads <- ctr.Counters.loads + 1;
   if fl land Code.fl_store <> 0 then ctr.Counters.stores <- ctr.Counters.stores + 1;
   if fl land Code.fl_branch <> 0 then ctr.Counters.branches <- ctr.Counters.branches + 1;
+  (* Non-register fault streams: memory accesses and conditional branches
+     inside hardened code each form their own deterministic site counter;
+     arming happens *before* the instruction executes so the fault applies
+     to this very access/branch. *)
+  let is_mem_site =
+    fr.cf.Code.cf_hardened && fl land (Code.fl_load lor Code.fl_store) <> 0
+  in
+  let is_br_site =
+    fr.cf.Code.cf_hardened
+    && match it.Code.op with Code.Tcondbr _ | Code.Tvbr _ | Code.Tvbr_u _ -> true | _ -> false
+  in
+  (match m.cfg.inject with
+  | Some inj -> (
+      match inj.kind with
+      | Reg_flip -> ()
+      | Mem_flip | Addr_flip ->
+          if is_mem_site then begin
+            m.mem_count <- m.mem_count + 1;
+            if m.mem_count = inj.at then
+              if inj.kind = Addr_flip then
+                m.addr_mask <- Int64.shift_left 1L (inj.bit land 63)
+              else m.mem_flip_armed <- true
+          end
+      | Branch_flip ->
+          if is_br_site then begin
+            m.br_count <- m.br_count + 1;
+            if m.br_count = inj.at then m.cf_divert <- true
+          end)
+  | None ->
+      if m.cfg.count_inject_sites then begin
+        if is_mem_site then m.mem_count <- m.mem_count + 1;
+        if is_br_site then m.br_count <- m.br_count + 1
+      end);
   (* input readiness *)
   let ready = ref 0 in
   Array.iter
@@ -374,7 +614,35 @@ let step (m : t) (th : thread) : bool =
     ctr.Counters.l1_refs <- ctr.Counters.l1_refs + 1;
     if lat > Cache.hit_latency then ctr.Counters.l1_misses <- ctr.Counters.l1_misses + 1;
     if lat > !mem_lat then mem_lat := lat;
-    ignore width
+    (* Armed memory fault: flip one bit of a byte this access touched,
+       right after the access — the at+1-th access of the location sees
+       the corruption.  Deliberately NOT undo-logged: memory corruption
+       persists across re-execution rollback (ELZAR leaves memory to ECC,
+       §III-A), so [Reexec] cannot mask it away. *)
+    if m.mem_flip_armed then begin
+      m.mem_flip_armed <- false;
+      match m.cfg.inject with
+      | Some inj -> (
+          let a = Int64.add addr (Int64.of_int (inj.bit lsr 3 mod max width 1)) in
+          try
+            let b = Memory.read m.mem ~width:1 a in
+            Memory.write m.mem ~width:1 a
+              (Int64.logxor b (Int64.of_int (1 lsl (inj.bit land 7))));
+            mark_injected m (class_of it.Code.op)
+          with Memory.Fault _ -> ())
+      | None -> ()
+    end
+  in
+  (* Armed address fault: XOR one bit into the effective address of this
+     (the [at]-th) load/store. *)
+  let fix_addr (a : int64) : int64 =
+    if m.addr_mask = 0L then a
+    else begin
+      let a' = Int64.logxor a m.addr_mask in
+      m.addr_mask <- 0L;
+      mark_injected m (class_of it.Code.op);
+      a'
+    end
   in
   let continue_ = ref true in
   let next_pc = ref (fr.pc + 1) in
@@ -404,13 +672,13 @@ let step (m : t) (th : thread) : bool =
         regs.(d + j) <- get_lane regs a j
       done
   | Code.Rload (d, w, a) -> (
-      let addr = get_scalar regs a in
+      let addr = fix_addr (get_scalar regs a) in
       try
         regs.(d) <- Memory.read m.mem ~width:w addr;
         touch addr w
       with Memory.Fault x -> raise (Trap (Segfault x)))
   | Code.Rvload (d, n, w, a) -> (
-      let addr = get_scalar regs a in
+      let addr = fix_addr (get_scalar regs a) in
       try
         for j = 0 to n - 1 do
           regs.(d + j) <-
@@ -419,18 +687,19 @@ let step (m : t) (th : thread) : bool =
         touch addr w
       with Memory.Fault x -> raise (Trap (Segfault x)))
   | Code.Rstore (w, v, a) -> (
-      let addr = get_scalar regs a in
+      let addr = fix_addr (get_scalar regs a) in
       try
+        ck_log_write m th ~width:w addr;
         Memory.write m.mem ~width:w addr (get_scalar regs v);
         touch addr w
       with Memory.Fault x -> raise (Trap (Segfault x)))
   | Code.Rvstore (n, w, v, a) -> (
-      let addr = get_scalar regs a in
+      let addr = fix_addr (get_scalar regs a) in
       try
         for j = 0 to n - 1 do
-          Memory.write m.mem ~width:w
-            (Int64.add addr (Int64.of_int (j * w)))
-            (get_lane regs v j)
+          let aj = Int64.add addr (Int64.of_int (j * w)) in
+          ck_log_write m th ~width:w aj;
+          Memory.write m.mem ~width:w aj (get_lane regs v j)
         done;
         touch addr w
       with Memory.Fault x -> raise (Trap (Segfault x)))
@@ -453,6 +722,23 @@ let step (m : t) (th : thread) : bool =
               nf.ready.(off) <- completion)
             args;
           fr.pc <- fr.pc + 1 (* resume after the call on return *);
+          (* arm a re-execution checkpoint at the outermost hardened call *)
+          if m.cfg.reexec_retries > 0 && cf.Code.cf_hardened && th.ck = None then
+            th.ck <-
+              Some
+                {
+                  ck_cf = cf;
+                  ck_args = args;
+                  ck_ret_off = dst;
+                  ck_sp = th.sp;
+                  ck_caller = th.frames;
+                  ck_out_len = Buffer.length m.output;
+                  ck_frame = nf;
+                  ck_log = [];
+                  ck_log_len = 0;
+                  ck_valid = true;
+                  ck_tries = 0;
+                };
           th.frames <- nf :: th.frames;
           next_pc := -1
       | Code.Builtin id -> (
@@ -468,7 +754,12 @@ let step (m : t) (th : thread) : bool =
           | Bbarrier addr ->
               th.status <- Waiting_barrier addr;
               next_pc := fr.pc + 1;
-              continue_ := false))
+              continue_ := false
+          | Breexec ->
+              (* no-majority vote fell through every re-vote retry: roll
+                 the thread back to its checkpoint, or fail-stop *)
+              if reexec_rollback m th then next_pc := -1
+              else raise (Trap Elzar_fatal)))
   | Code.Rcall_ind (fp, argops, dst, dlanes) ->
       let f = get_scalar regs fp in
       let fid = Int64.to_int (Int64.sub f Code.fnptr_base) in
@@ -488,10 +779,26 @@ let step (m : t) (th : thread) : bool =
         args;
       ignore dlanes;
       fr.pc <- fr.pc + 1 (* resume after the call on return *);
+      if m.cfg.reexec_retries > 0 && cf.Code.cf_hardened && th.ck = None then
+        th.ck <-
+          Some
+            {
+              ck_cf = cf;
+              ck_args = args;
+              ck_ret_off = dst;
+              ck_sp = th.sp;
+              ck_caller = th.frames;
+              ck_out_len = Buffer.length m.output;
+              ck_frame = nf;
+              ck_log = [];
+              ck_log_len = 0;
+              ck_valid = true;
+              ck_tries = 0;
+            };
       th.frames <- nf :: th.frames;
       next_pc := -1
   | Code.Ratomic (op, d, a, x, w) -> (
-      let addr = get_scalar regs a in
+      let addr = fix_addr (get_scalar regs a) in
       try
         let old = Memory.read m.mem ~width:w addr in
         let v = get_scalar regs x in
@@ -503,15 +810,19 @@ let step (m : t) (th : thread) : bool =
           | Ir.Instr.Rmw_and -> Int64.logand old v
           | Ir.Instr.Rmw_or -> Int64.logor old v
         in
+        ck_log_write m th ~width:w addr;
         Memory.write m.mem ~width:w addr (Value.mask_of_width (w * 8) |> Int64.logand nv);
         regs.(d) <- old;
         touch addr w
       with Memory.Fault x -> raise (Trap (Segfault x)))
   | Code.Rcmpxchg (d, a, e, dv, w) -> (
-      let addr = get_scalar regs a in
+      let addr = fix_addr (get_scalar regs a) in
       try
         let old = Memory.read m.mem ~width:w addr in
-        if old = get_scalar regs e then Memory.write m.mem ~width:w addr (get_scalar regs dv);
+        if old = get_scalar regs e then begin
+          ck_log_write m th ~width:w addr;
+          Memory.write m.mem ~width:w addr (get_scalar regs dv)
+        end;
         regs.(d) <- old;
         touch addr w
       with Memory.Fault x -> raise (Trap (Segfault x)))
@@ -548,8 +859,8 @@ let step (m : t) (th : thread) : bool =
       for j = 1 to alanes - 1 do
         if get_lane regs a j <> a0 then disagree := true
       done;
-      let addr = majority4 ~n:alanes (fun j -> get_lane regs a j) in
-      if !disagree then m.recovered <- m.recovered + 1;
+      let addr = fix_addr (majority4 ~n:alanes (fun j -> get_lane regs a j)) in
+      if !disagree then note_recovered m;
       try
         let v = Memory.read m.mem ~width:w addr in
         for j = 0 to n - 1 do
@@ -568,16 +879,21 @@ let step (m : t) (th : thread) : bool =
       for j = 1 to vlanes - 1 do
         if get_lane regs v j <> v0 then disagree := true
       done;
-      let addr = majority4 ~n:alanes (fun j -> get_lane regs a j) in
+      let addr = fix_addr (majority4 ~n:alanes (fun j -> get_lane regs a j)) in
       let value = majority4 ~n:vlanes (fun j -> get_lane regs v j) in
-      if !disagree then m.recovered <- m.recovered + 1;
+      if !disagree then note_recovered m;
       try
+        ck_log_write m th ~width:w addr;
         Memory.write m.mem ~width:w addr value;
         touch addr w
       with Memory.Fault x -> raise (Trap (Segfault x)))
   | Code.Tret o -> (
       let completion = Timing.exec th.timing ~ready:!ready ~mem_lat:4 it.Code.uops in
       let popped = fr in
+      (* the checkpointed call completed: commit (drop) the checkpoint *)
+      (match th.ck with
+      | Some ck when ck.ck_frame == popped -> th.ck <- None
+      | _ -> ());
       th.sp <- popped.saved_sp;
       th.frames <- List.tl th.frames;
       match th.frames with
@@ -598,6 +914,14 @@ let step (m : t) (th : thread) : bool =
   | Code.Tbr target -> next_pc := target
   | Code.Tcondbr (c, t, e) ->
       let taken = get_scalar regs c <> 0L in
+      let taken =
+        if m.cf_divert then begin
+          m.cf_divert <- false;
+          mark_injected m "branch";
+          not taken
+        end
+        else taken
+      in
       next_pc := (if taken then t else e);
       branch_info := Some (taken, false)
   | Code.Tvbr (mask, t, e, r) ->
@@ -617,12 +941,28 @@ let step (m : t) (th : thread) : bool =
       else begin
         next_pc := r;
         branch_info := Some (true, true)
+      end;
+      (* control-flow fault: the front end retires the wrong successor —
+         a unanimous mask goes the wrong way, a mixed mask jumps straight
+         past the recovery edge (the §VII unprotected-control-flow case) *)
+      if m.cf_divert then begin
+        m.cf_divert <- false;
+        mark_injected m "branch";
+        next_pc := (if !all_true then e else t)
       end
   | Code.Tvbr_u (mask, t, e) ->
       (* unchecked AVX branch: hardware flags reflect lane 0 on a clean run;
          a mixed mask silently follows lane 0 (the Fig. 12 no-branch-checks
          configuration gives up mixed-outcome detection) *)
       let taken = get_lane regs mask 0 <> 0L in
+      let taken =
+        if m.cf_divert then begin
+          m.cf_divert <- false;
+          mark_injected m "branch";
+          not taken
+        end
+        else taken
+      in
       next_pc := (if taken then t else e);
       branch_info := Some (taken, false)
   | Code.Tunreachable -> raise (Trap Unreachable_executed));
@@ -644,10 +984,11 @@ let step (m : t) (th : thread) : bool =
             Timing.mispredict th.timing ~resolved:completion
           end
       | None -> ()));
-  (* fault injection *)
+  (* fault injection (register-SEU stream; the other fault kinds are armed
+     before the instruction executes, above) *)
   (if fl land Code.fl_inject <> 0 then
      match m.cfg.inject with
-     | Some inj ->
+     | Some inj when inj.kind = Reg_flip ->
          m.inj_count <- m.inj_count + 1;
          if m.inj_count = inj.at then begin
            let dlanes = max it.Code.dlanes 1 in
@@ -663,8 +1004,9 @@ let step (m : t) (th : thread) : bool =
                in
                flip l b
            | None -> ());
-           m.injected <- true
+           mark_injected m (class_of it.Code.op)
          end
+     | Some _ -> ()
      | None -> if m.cfg.count_inject_sites then m.inj_count <- m.inj_count + 1);
   if !next_pc >= 0 then fr.pc <- !next_pc;
   !continue_ && th.status = Running
@@ -710,8 +1052,16 @@ let make_result (m : t) (trap : trap_reason option) : result =
     output_bytes = out;
     trap;
     recovered_faults = m.recovered;
+    retried_faults = m.retried;
+    reexecutions = m.reexecs;
     inject_sites = m.inj_count;
+    mem_sites = m.mem_count;
+    branch_sites = m.br_count;
     fault_injected = m.injected;
+    inject_class = (if m.injected then Some m.inject_class else None);
+    detect_latency =
+      (if m.injected && m.detect_instr >= 0 then Some (m.detect_instr - m.inject_instr)
+       else None);
   }
 
 (* Runs [entry] with scalar [args] to completion of all threads. *)
@@ -750,7 +1100,10 @@ let run ?(args = [||]) (m : t) (entry : string) : result =
   in
   match loop () with
   | () -> make_result m None
-  | exception Trap r -> make_result m (Some r)
+  | exception Trap r ->
+      (* a trap is a detection event for latency purposes *)
+      note_detect m;
+      make_result m (Some r)
 
 (* Convenience: build, run, and return the result in one call. *)
 let run_module ?(cfg = default_config) ?(flags_cmp = false) ?(args = [||])

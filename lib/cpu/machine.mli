@@ -3,8 +3,14 @@
     per core.  Threads map 1:1 onto cores; the scheduler always advances
     the thread whose core clock is furthest behind, so lock contention and
     join edges appear in wall-clock cycles.  Hosts the native builtins
-    (unhardened OS/pthreads/IO, §IV-A) and the single-bit fault-injection
-    hook (§IV-B). *)
+    (unhardened OS/pthreads/IO, §IV-A) and the fault-injection hooks
+    (§IV-B), covering a four-kind transient-fault taxonomy — register
+    SEUs, memory bit-flips, effective-address faults and control-flow
+    faults (the §VII limitations, modelled explicitly) — plus
+    re-execution recovery: with [reexec_retries > 0] each outermost
+    hardened call is checkpointed (arguments, stack pointer, a memory
+    undo log) so the [elzar_reexec] runtime marker can roll the thread
+    back and retry instead of fail-stopping. *)
 
 type trap_reason =
   | Segfault of int64
@@ -31,6 +37,23 @@ type frame = {
 
 type status = Running | Waiting of int | Waiting_barrier of int64 | Done
 
+(** Re-execution checkpoint of a thread's outermost hardened call:
+    arguments, stack pointer, caller frames, program-output length and a
+    memory undo log, enough to restart the call from scratch. *)
+type ckpt = {
+  ck_cf : Code.cfunc;
+  ck_args : int64 array;
+  ck_ret_off : int;
+  ck_sp : int64;
+  ck_caller : frame list;
+  ck_out_len : int;
+  mutable ck_frame : frame;
+  mutable ck_log : (int64 * int * int64) list;  (** (addr, width, old value) *)
+  mutable ck_log_len : int;
+  mutable ck_valid : bool;
+  mutable ck_tries : int;
+}
+
 type thread = {
   tid : int;
   mutable frames : frame list;
@@ -42,16 +65,38 @@ type thread = {
   mutable sp : int64;
   start_cycle : int;
   mutable final_cycle : int;
+  mutable ck : ckpt option;
 }
 
-(** Bit flip(s) in the destination register of the [at]-th
-    injection-eligible dynamic instruction: one lane always, optionally a
-    second (lane, bit) for multi-bit SEUs. *)
+(** The transient-fault taxonomy.  [Reg_flip] is the paper's §IV-B model;
+    the other three model exactly the faults §VII lists as out of scope
+    for ELZAR's protection domain. *)
+type fault_kind =
+  | Reg_flip  (** flip bit(s) in the destination register (default) *)
+  | Mem_flip
+      (** flip one bit of a byte touched by the [at]-th hardened-code
+          memory access, right after that access *)
+  | Addr_flip
+      (** flip one bit of the effective address of the [at]-th
+          hardened-code load/store *)
+  | Branch_flip
+      (** divert the [at]-th hardened-code conditional branch to the
+          wrong successor *)
+
+val fault_kind_to_string : fault_kind -> string
+
+(** One pre-drawn fault.  For [Reg_flip]: bit flip(s) in the destination
+    register of the [at]-th injection-eligible dynamic instruction — one
+    lane always, optionally a second (lane, bit) for multi-bit SEUs.  The
+    other kinds draw [at] against their own deterministic site streams
+    ([mem_sites] / [branch_sites] of a counting run) and ignore [lane]
+    and [second]. *)
 type inject = {
   at : int;
   lane : int;
   bit : int;
   second : (int * int) option;
+  kind : fault_kind;
 }
 
 (** [second_flip ~dlanes ~lane ~bit ~lane2 ~bit2] is the (lane, bit) the
@@ -69,6 +114,10 @@ type config = {
   inject : inject option;
   count_inject_sites : bool;
   stack_size : int;  (** per-thread *)
+  reexec_retries : int;
+      (** re-execution recovery budget: >0 checkpoints each outermost
+          hardened call so [elzar_reexec] can roll back and retry that
+          many times before fail-stopping *)
   trace : Buffer.t option;
       (** per-instruction execution trace, capped at ~1 MB (the Intel SDE
           debugtrace analogue of §IV-B) *)
@@ -86,8 +135,18 @@ type t = {
   cfg : config;
   mutable total_instrs : int;
   mutable inj_count : int;
+  mutable mem_count : int;
+  mutable br_count : int;
   mutable injected : bool;
   mutable recovered : int;
+  mutable retried : int;
+  mutable reexecs : int;
+  mutable addr_mask : int64;
+  mutable mem_flip_armed : bool;
+  mutable cf_divert : bool;
+  mutable inject_instr : int;
+  mutable detect_instr : int;
+  mutable inject_class : string;
 }
 
 type result = {
@@ -98,9 +157,23 @@ type result = {
   output_bytes : string;
   trap : trap_reason option;
   recovered_faults : int;  (** recovery-routine activations *)
+  retried_faults : int;  (** recovery re-vote retries ([elzar_retried]) *)
+  reexecutions : int;  (** re-execution rollbacks performed *)
   inject_sites : int;  (** injection-eligible instructions executed *)
+  mem_sites : int;  (** hardened-code memory accesses (Mem/Addr stream) *)
+  branch_sites : int;  (** hardened-code conditional branches (Cf stream) *)
   fault_injected : bool;
+  inject_class : string option;
+      (** instruction class at the injection site, for the AVF table *)
+  detect_latency : int option;
+      (** dynamic instructions between injection and the first recovery
+          activation or trap; [None] if the fault was never detected *)
 }
+
+(** First value appearing at least twice among [n] lanes (the runtime
+    recovery vote of gather/scatter; on a 2-2 split the lower pair wins).
+    @raise Trap [Elzar_fatal] when all lanes are distinct. *)
+val majority4 : n:int -> (int -> int64) -> int64
 
 (** Compiles (a verified) module into a fresh machine with its own memory.
     [flags_cmp] selects the proposed FLAGS-setting comparison lowering for

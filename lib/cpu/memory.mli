@@ -1,7 +1,12 @@
-(** Flat simulated memory shared by all threads (assumed ECC-protected and
-    outside the fault model, paper §III-A), with a static region for
+(** Flat simulated memory shared by all threads, with a static region for
     globals, a first-fit heap, and per-thread stacks carved from the top.
-    The first page is unmapped so null dereferences trap. *)
+    The first page is unmapped so null dereferences trap.
+
+    The paper assumes memory is ECC-protected and outside the fault model
+    (§III-A); the expanded taxonomy deliberately breaks that assumption:
+    {!Machine}'s [Mem_flip] fault kind flips bits in this memory directly
+    (bypassing any undo log), to measure what ELZAR's register-level
+    replication cannot catch. *)
 
 type t = {
   data : Bytes.t;

@@ -39,7 +39,7 @@ let draw_single (rng : Random.State.t) ~(sites : int) : Fault.experiment =
   let at = 1 + Random.State.int rng sites in
   let lane = Random.State.int rng 32 in
   let bit = Random.State.int rng 64 in
-  { Fault.at; lane; bit; second = None }
+  { Fault.at; lane; bit; second = None; kind = Cpu.Machine.Reg_flip }
 
 (* The second lane is drawn at a non-zero offset from the first; the final
    non-aliasing guarantee (for any destination lane count) is enforced at
@@ -50,7 +50,49 @@ let draw_double ?(same_bit = true) (rng : Random.State.t) ~(sites : int) : Fault
   let lane2 = lane + 1 + Random.State.int rng 3 in
   let bit = Random.State.int rng 64 in
   let bit2 = if same_bit then bit else Random.State.int rng 64 in
-  { Fault.at; lane; bit; second = Some (lane2, bit2) }
+  { Fault.at; lane; bit; second = Some (lane2, bit2); kind = Cpu.Machine.Reg_flip }
+
+(* One draw under a fault model.  Every branch consumes the same RNG
+   stream in a fixed order, so a plan is reproducible from (seed, golden
+   site counts) alone.  [Mixed] first picks a kind uniformly among those
+   with at least one site, then draws that kind's experiment. *)
+let draw_model (rng : Random.State.t) ~(model : Fault.model) ~(sites : int)
+    ~(mem_sites : int) ~(branch_sites : int) : Fault.experiment =
+  let draw_kind (kind : Cpu.Machine.fault_kind) : Fault.experiment =
+    match kind with
+    | Cpu.Machine.Reg_flip -> draw_single rng ~sites
+    | Cpu.Machine.Mem_flip ->
+        let at = 1 + Random.State.int rng (max 1 mem_sites) in
+        let bit = Random.State.int rng 64 in
+        { Fault.at; lane = 0; bit; second = None; kind = Cpu.Machine.Mem_flip }
+    | Cpu.Machine.Addr_flip ->
+        let at = 1 + Random.State.int rng (max 1 mem_sites) in
+        (* low 21 address bits: higher flips almost always segfault
+           immediately and teach nothing about the checks *)
+        let bit = Random.State.int rng 21 in
+        { Fault.at; lane = 0; bit; second = None; kind = Cpu.Machine.Addr_flip }
+    | Cpu.Machine.Branch_flip ->
+        let at = 1 + Random.State.int rng (max 1 branch_sites) in
+        { Fault.at; lane = 0; bit = 0; second = None; kind = Cpu.Machine.Branch_flip }
+  in
+  match model with
+  | Fault.Reg -> draw_kind Cpu.Machine.Reg_flip
+  | Fault.Mem -> draw_kind Cpu.Machine.Mem_flip
+  | Fault.Addr -> draw_kind Cpu.Machine.Addr_flip
+  | Fault.Cf -> draw_kind Cpu.Machine.Branch_flip
+  | Fault.Mixed ->
+      let kinds =
+        List.filter_map
+          (fun (k, s) -> if s > 0 then Some k else None)
+          [
+            (Cpu.Machine.Reg_flip, sites);
+            (Cpu.Machine.Mem_flip, mem_sites);
+            (Cpu.Machine.Addr_flip, mem_sites);
+            (Cpu.Machine.Branch_flip, branch_sites);
+          ]
+      in
+      let kinds = if kinds = [] then [ Cpu.Machine.Reg_flip ] else kinds in
+      draw_kind (List.nth kinds (Random.State.int rng (List.length kinds)))
 
 (* ---- progress and reporting ---- *)
 
@@ -65,7 +107,7 @@ type progress = {
 
 type report = {
   stats : Fault.stats;
-  outcomes : (Fault.experiment * Fault.outcome) array;
+  outcomes : (Fault.experiment * Fault.obs) array;
       (** counted experiments in plan order (excludes discarded ones) *)
   wall_seconds : float;
   cycles_simulated : int;  (** simulated cycles over all injection runs *)
@@ -76,37 +118,57 @@ type report = {
 
 (* ---- checkpointing ---- *)
 
-(* A checkpoint is the map (redraw round, plan slot) -> (outcome, cycles)
-   of every completed experiment, keyed by a digest of the plan + golden
-   run so a stale file for a different campaign can never be resumed. *)
+(* A checkpoint is the map (redraw round, plan slot) -> observation of
+   every completed experiment, keyed by a digest of the plan + golden run
+   so a stale file for a different campaign can never be resumed.  The
+   magic line guards the unsafe [Marshal.from_channel] against files in
+   older formats (or other files altogether). *)
 type ck_state = {
   ck_key : string;
-  ck_done : ((int * int) * (Fault.outcome * int)) list;
+  ck_done : ((int * int) * Fault.obs) list;
 }
+
+let ck_magic = "ELZCK2\n"
 
 let ck_key ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : string =
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
-          (exps, golden.Cpu.Machine.output_digest, golden.Cpu.Machine.inject_sites)
+          ( exps,
+            golden.Cpu.Machine.output_digest,
+            golden.Cpu.Machine.inject_sites,
+            golden.Cpu.Machine.mem_sites,
+            golden.Cpu.Machine.branch_sites )
           []))
 
-let ck_load (path : string) ~(key : string) : ((int * int), Fault.outcome * int) Hashtbl.t =
+let ck_load (path : string) ~(key : string) : ((int * int), Fault.obs) Hashtbl.t =
   let tbl = Hashtbl.create 64 in
   (if Sys.file_exists path then
      try
        let ic = open_in_bin path in
-       let st : ck_state = Marshal.from_channel ic in
-       close_in ic;
-       if st.ck_key = key then
-         List.iter (fun (k, v) -> Hashtbl.replace tbl k v) st.ck_done
-     with _ -> () (* unreadable/corrupt checkpoint: start over *));
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () ->
+           let magic = really_input_string ic (String.length ck_magic) in
+           if magic <> ck_magic then failwith "bad magic";
+           let st : ck_state = Marshal.from_channel ic in
+           if st.ck_key = key then
+             List.iter (fun (k, v) -> Hashtbl.replace tbl k v) st.ck_done)
+     with _ ->
+       (* unreadable/corrupt checkpoint: say so once and start over *)
+       Printf.eprintf "campaign: checkpoint %s unreadable or stale, restarting campaign\n%!"
+         path);
   tbl
 
+(* Write-to-temp, flush+fsync, then atomic rename: a crash mid-write can
+   never leave a truncated file under the checkpoint's real name. *)
 let ck_save (path : string) ~(key : string) done_ =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
+  output_string oc ck_magic;
   Marshal.to_channel oc { ck_key = key; ck_done = done_ } [];
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
   close_out oc;
   Sys.rename tmp path
 
@@ -122,7 +184,7 @@ type shared = {
   mutable nreach : int;
   mutable cycles : int;
   mutable executed : int;  (** completed minus checkpoint-restored *)
-  mutable ck_done : ((int * int) * (Fault.outcome * int)) list;
+  mutable ck_done : ((int * int) * Fault.obs) list;
   mutable since_save : int;
 }
 
@@ -130,11 +192,11 @@ type shared = {
    Each worker builds its own machines ({!Fault.run_experiment} creates a
    fresh one per run); the only shared mutable state is the claim counter,
    the disjointly-indexed output array and [shared] under its mutex.
-   Returns outcome + simulated cycles in batch order. *)
+   Returns the observations in batch order. *)
 let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
-    ~(round : int) ~ck_tbl ~(checkpoint : string option) ~(key : string) ~(shared : shared)
-    ~(progress : (progress -> unit) option) (batch : (int * Fault.experiment) array) :
-    (Fault.outcome * int) array =
+    ~(max_instrs : int) ~(round : int) ~ck_tbl ~(checkpoint : string option)
+    ~(key : string) ~(shared : shared) ~(progress : (progress -> unit) option)
+    (batch : (int * Fault.experiment) array) : Fault.obs array =
   let k = Array.length batch in
   let out = Array.make k None in
   let next = Atomic.make 0 in
@@ -144,22 +206,20 @@ let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.resu
       if i < k then begin
         let slot, e = batch.(i) in
         let restored = Hashtbl.find_opt ck_tbl (round, slot) in
-        let ((o, _) as oc) =
+        let (o : Fault.obs) =
           match restored with
-          | Some oc -> oc
-          | None ->
-              let r = Fault.run_experiment spec e in
-              (Fault.classify ~golden r, r.Cpu.Machine.wall_cycles)
+          | Some o -> o
+          | None -> Fault.observe ~golden (Fault.run_experiment ~max_instrs spec e)
         in
-        out.(i) <- Some oc;
+        out.(i) <- Some o;
         Mutex.lock shared.mutex;
         shared.completed <- shared.completed + 1;
-        shared.cycles <- shared.cycles + snd oc;
+        shared.cycles <- shared.cycles + o.Fault.o_cycles;
         if restored = None then shared.executed <- shared.executed + 1;
-        (match o with
+        (match o.Fault.o_outcome with
         | Fault.Not_reached -> shared.nreach <- shared.nreach + 1
-        | o -> shared.running <- Fault.add_outcome shared.running o);
-        shared.ck_done <- ((round, slot), oc) :: shared.ck_done;
+        | oc -> shared.running <- Fault.add_outcome shared.running oc);
+        shared.ck_done <- ((round, slot), o) :: shared.ck_done;
         shared.since_save <- shared.since_save + 1;
         let save_now = checkpoint <> None && shared.since_save >= save_every in
         if save_now then shared.since_save <- 0;
@@ -207,6 +267,7 @@ let run ?jobs ?progress ?checkpoint ?redraw ~(spec : Fault.run_spec)
     ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : report =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let n = Array.length exps in
+  let max_instrs = Fault.hang_budget ~golden spec in
   let key = ck_key ~golden exps in
   let ck_tbl =
     match checkpoint with Some path -> ck_load path ~key | None -> Hashtbl.create 1
@@ -231,23 +292,23 @@ let run ?jobs ?progress ?checkpoint ?redraw ~(spec : Fault.run_spec)
   while Array.length !pending > 0 do
     let batch = !pending in
     let results =
-      run_batch ~jobs ~spec ~golden ~round:!round ~ck_tbl ~checkpoint ~key ~shared ~progress
-        batch
+      run_batch ~jobs ~spec ~golden ~max_instrs ~round:!round ~ck_tbl ~checkpoint ~key
+        ~shared ~progress batch
     in
     let next = ref [] in
     (* batch is in ascending plan-slot order (invariant below), so redraws
        happen in slot order: the RNG consumption is reproducible *)
     Array.iteri
-      (fun i (o, _cyc) ->
+      (fun i (o : Fault.obs) ->
         let slot, e = batch.(i) in
-        match o with
+        match o.Fault.o_outcome with
         | Fault.Not_reached ->
             if !round < max_rounds - 1 then begin
               match redraw with
               | Some d -> next := (slot, d ()) :: !next
               | None -> ()
             end
-        | o -> final.(slot) <- Some (e, o))
+        | _ -> final.(slot) <- Some (e, o))
       results;
     pending := Array.of_list (List.rev !next);
     if !pending <> [||] then
@@ -261,7 +322,11 @@ let run ?jobs ?progress ?checkpoint ?redraw ~(spec : Fault.run_spec)
   let outcomes =
     Array.of_list (List.filter_map (fun x -> x) (Array.to_list final))
   in
-  let stats = Array.fold_left (fun s (_, o) -> Fault.add_outcome s o) Fault.empty_stats outcomes in
+  let stats =
+    Array.fold_left
+      (fun s (_, o) -> Fault.add_outcome s o.Fault.o_outcome)
+      Fault.empty_stats outcomes
+  in
   {
     stats;
     outcomes;
@@ -277,7 +342,10 @@ let run ?jobs ?progress ?checkpoint ?redraw ~(spec : Fault.run_spec)
 let plan ~(n : int) (draw : unit -> Fault.experiment) : Fault.experiment array =
   (* explicit loop: Array.init's evaluation order is unspecified and the
      draws must consume the RNG in plan order *)
-  let exps = Array.make n { Fault.at = 1; lane = 0; bit = 0; second = None } in
+  let exps =
+    Array.make n
+      { Fault.at = 1; lane = 0; bit = 0; second = None; kind = Cpu.Machine.Reg_flip }
+  in
   for i = 0 to n - 1 do
     exps.(i) <- draw ()
   done;
@@ -302,6 +370,30 @@ let double ?(seed = 43) ?(n = 150) ?(same_bit = true) ?jobs ?progress ?checkpoin
   if sites = 0 then invalid_arg "Campaign.double: no hardened code to inject into";
   let rng = Random.State.make [| seed |] in
   let draw () = draw_double ~same_bit rng ~sites in
+  run ?jobs ?progress ?checkpoint ~redraw:draw ~spec ~golden:g (plan ~n draw)
+
+(* Campaign under a fault-model axis: reg (same as {!single}), mem, addr,
+   cf, or mixed.  The site streams come from the golden run's counters;
+   models whose stream is empty for this build (e.g. cf on a branch-free
+   kernel) are rejected up front rather than silently degenerating. *)
+let model_campaign ?(seed = 44) ?(n = 300) ?jobs ?progress ?checkpoint
+    ~(model : Fault.model) (spec : Fault.run_spec) : report =
+  let g = Fault.golden spec in
+  let sites = g.Cpu.Machine.inject_sites in
+  let mem_sites = g.Cpu.Machine.mem_sites in
+  let branch_sites = g.Cpu.Machine.branch_sites in
+  (match model with
+  | Fault.Reg | Fault.Mixed ->
+      if sites = 0 then
+        invalid_arg "Campaign.model_campaign: no hardened code to inject into"
+  | Fault.Mem | Fault.Addr ->
+      if mem_sites = 0 then
+        invalid_arg "Campaign.model_campaign: no hardened memory accesses"
+  | Fault.Cf ->
+      if branch_sites = 0 then
+        invalid_arg "Campaign.model_campaign: no hardened conditional branches");
+  let rng = Random.State.make [| seed; Hashtbl.hash (Fault.model_to_string model) |] in
+  let draw () = draw_model rng ~model ~sites ~mem_sites ~branch_sites in
   run ?jobs ?progress ?checkpoint ~redraw:draw ~spec ~golden:g (plan ~n draw)
 
 (* One-line observability summary for bench tables. *)

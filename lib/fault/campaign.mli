@@ -22,6 +22,19 @@ val draw_single : Random.State.t -> sites:int -> Fault.experiment
     cancel) after the wrap to the destination's actual lane count. *)
 val draw_double : ?same_bit:bool -> Random.State.t -> sites:int -> Fault.experiment
 
+(** Draw one experiment under a fault model, against the golden run's
+    site streams ([sites] = injection-eligible instructions, [mem_sites] =
+    hardened memory accesses, [branch_sites] = hardened conditional
+    branches).  Every branch consumes the RNG in a fixed order, so a plan
+    is reproducible from (seed, site counts) alone. *)
+val draw_model :
+  Random.State.t ->
+  model:Fault.model ->
+  sites:int ->
+  mem_sites:int ->
+  branch_sites:int ->
+  Fault.experiment
+
 type progress = {
   completed : int;  (** experiments finished, including redraws *)
   total : int;  (** experiments currently planned, including redraws *)
@@ -33,8 +46,10 @@ type progress = {
 
 type report = {
   stats : Fault.stats;
-  outcomes : (Fault.experiment * Fault.outcome) array;
-      (** counted experiments in plan order (excludes discarded ones) *)
+  outcomes : (Fault.experiment * Fault.obs) array;
+      (** counted experiments in plan order (excludes discarded ones);
+          the observations feed {!Fault.avf_table} and
+          {!Fault.mean_latency} *)
   wall_seconds : float;
   cycles_simulated : int;  (** simulated cycles over all injection runs *)
   experiments_run : int;  (** injection runs executed, including redraws *)
@@ -89,6 +104,24 @@ val double :
   ?jobs:int ->
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
+  Fault.run_spec ->
+  report
+
+(** [model_campaign ~model spec] — campaign under a fault-model axis:
+    register SEUs ([Reg], same distribution as {!single}), memory
+    bit-flips ([Mem]), effective-address faults ([Addr]), control-flow
+    faults ([Cf]), or a uniform mix ([Mixed]).  Sites are drawn against
+    the golden run's per-kind site streams, pre-drawn and folded in plan
+    order, so the stats are bit-identical for any worker count.
+    @raise Invalid_argument if the model's site stream is empty for this
+    build. *)
+val model_campaign :
+  ?seed:int ->
+  ?n:int ->
+  ?jobs:int ->
+  ?progress:(progress -> unit) ->
+  ?checkpoint:string ->
+  model:Fault.model ->
   Fault.run_spec ->
   report
 

@@ -12,7 +12,9 @@
     whole campaigns over it, in parallel across domains. *)
 
 type outcome =
-  | Hang  (** program became unresponsive *)
+  | Hang  (** program became unresponsive (instruction budget exhausted) *)
+  | Deadlock  (** all threads blocked on each other — counted separately,
+                  folded into the crashed bucket for Table I *)
   | Os_detected  (** trap: segfault, division by zero, abort, fail-stop *)
   | Elzar_corrected  (** a recovery routine ran and the output is correct *)
   | Masked  (** fault did not affect the output *)
@@ -24,11 +26,35 @@ type outcome =
 
 let outcome_to_string = function
   | Hang -> "hang"
+  | Deadlock -> "deadlock"
   | Os_detected -> "os-detected"
   | Elzar_corrected -> "elzar-corrected"
   | Masked -> "masked"
   | Sdc -> "SDC"
   | Not_reached -> "not-reached"
+
+(** Fault-model axis of a campaign.  The first four select one
+    {!Cpu.Machine.fault_kind}; [Mixed] draws a kind per experiment
+    (uniformly among the kinds with at least one site in the golden
+    run). *)
+type model = Reg | Mem | Addr | Cf | Mixed
+
+let model_to_string = function
+  | Reg -> "reg"
+  | Mem -> "mem"
+  | Addr -> "addr"
+  | Cf -> "cf"
+  | Mixed -> "mixed"
+
+let model_of_string = function
+  | "reg" -> Reg
+  | "mem" -> Mem
+  | "addr" -> Addr
+  | "cf" -> Cf
+  | "mixed" -> Mixed
+  | s -> invalid_arg (Printf.sprintf "Fault.model_of_string: %S" s)
+
+let all_models = [ Reg; Mem; Addr; Cf; Mixed ]
 
 (* Everything needed to run one experiment deterministically. *)
 type run_spec = {
@@ -38,11 +64,12 @@ type run_spec = {
   args : int64 array;
   init : Cpu.Machine.t -> unit;  (** host-side input preparation *)
   max_instrs : int;
+  reexec_retries : int;  (** re-execution recovery budget of the build *)
 }
 
 let make_spec ?(flags_cmp = false) ?(args = [||]) ?(init = fun _ -> ())
-    ?(max_instrs = 200_000_000) modul entry =
-  { modul; flags_cmp; entry; args; init; max_instrs }
+    ?(max_instrs = 200_000_000) ?(reexec_retries = 0) modul entry =
+  { modul; flags_cmp; entry; args; init; max_instrs; reexec_retries }
 
 (* One pre-drawn experiment: flip [bit] of one lane of the destination of
    the [at]-th injection-eligible instruction, plus an optional second
@@ -55,6 +82,7 @@ type experiment = {
   lane : int;
   bit : int;
   second : (int * int) option;
+  kind : Cpu.Machine.fault_kind;
 }
 
 let run_with (spec : run_spec) (cfg : Cpu.Machine.config) : Cpu.Machine.result =
@@ -63,13 +91,16 @@ let run_with (spec : run_spec) (cfg : Cpu.Machine.config) : Cpu.Machine.result =
   Cpu.Machine.run ~args:spec.args machine spec.entry
 
 (* Fault-free reference run; also counts the injection-eligible dynamic
-   instructions (the "instruction trace" step of §IV-B). *)
+   instructions (the "instruction trace" step of §IV-B) and the
+   memory-access / conditional-branch site streams of the other fault
+   kinds. *)
 let golden (spec : run_spec) : Cpu.Machine.result =
   let cfg =
     {
       Cpu.Machine.default_config with
       max_instrs = spec.max_instrs;
       count_inject_sites = true;
+      reexec_retries = spec.reexec_retries;
     }
   in
   let r = run_with spec cfg in
@@ -81,10 +112,18 @@ let golden (spec : run_spec) : Cpu.Machine.result =
   | None -> ());
   r
 
+(* Hang budget for injection runs, derived from the golden run: a faulty
+   run that retires 20x the golden dynamic instruction count is not going
+   to terminate.  The floor keeps tiny workloads from being starved; the
+   spec's own budget stays an upper bound. *)
+let hang_budget ~(golden : Cpu.Machine.result) (spec : run_spec) : int =
+  min spec.max_instrs
+    (max 1_000_000 (20 * golden.Cpu.Machine.totals.Cpu.Counters.instrs))
+
 let classify ~(golden : Cpu.Machine.result) (r : Cpu.Machine.result) : outcome =
   match r.Cpu.Machine.trap with
   | Some Cpu.Machine.Hang -> Hang
-  | Some Cpu.Machine.Deadlock -> Hang
+  | Some Cpu.Machine.Deadlock -> Deadlock
   | Some _ -> Os_detected
   | None ->
       if not r.Cpu.Machine.fault_injected then Not_reached
@@ -93,13 +132,24 @@ let classify ~(golden : Cpu.Machine.result) (r : Cpu.Machine.result) : outcome =
       else Sdc
 
 (* Runs one pre-drawn experiment and returns the raw machine result, so
-   callers can account simulated cycles as well as the outcome. *)
-let run_experiment (spec : run_spec) (e : experiment) : Cpu.Machine.result =
+   callers can account simulated cycles as well as the outcome.
+   [max_instrs] overrides the spec's budget (campaigns pass the golden-run
+   derived {!hang_budget}). *)
+let run_experiment ?max_instrs (spec : run_spec) (e : experiment) : Cpu.Machine.result =
   let cfg =
     {
       Cpu.Machine.default_config with
-      max_instrs = spec.max_instrs;
-      inject = Some { Cpu.Machine.at = e.at; lane = e.lane; bit = e.bit; second = e.second };
+      max_instrs = (match max_instrs with Some b -> b | None -> spec.max_instrs);
+      inject =
+        Some
+          {
+            Cpu.Machine.at = e.at;
+            lane = e.lane;
+            bit = e.bit;
+            second = e.second;
+            kind = e.kind;
+          };
+      reexec_retries = spec.reexec_retries;
     }
   in
   run_with spec cfg
@@ -108,27 +158,33 @@ let run_experiment (spec : run_spec) (e : experiment) : Cpu.Machine.result =
    injection-eligible instruction. *)
 let inject_one (spec : run_spec) ~(golden : Cpu.Machine.result) ~(at : int) ~(lane : int)
     ~(bit : int) : outcome =
-  classify ~golden (run_experiment spec { at; lane; bit; second = None })
+  classify ~golden
+    (run_experiment spec { at; lane; bit; second = None; kind = Cpu.Machine.Reg_flip })
 
 (* Multi-bit experiment: two flips in the same destination register
    (paper §III-C's extended-recovery discussion). *)
 let inject_two (spec : run_spec) ~(golden : Cpu.Machine.result) ~(at : int) ~(lane : int)
     ~(bit : int) ~(lane2 : int) ~(bit2 : int) : outcome =
-  classify ~golden (run_experiment spec { at; lane; bit; second = Some (lane2, bit2) })
+  classify ~golden
+    (run_experiment spec
+       { at; lane; bit; second = Some (lane2, bit2); kind = Cpu.Machine.Reg_flip })
 
 type stats = {
   runs : int;
   hang : int;
+  deadlock : int;
   os_detected : int;
   corrected : int;
   masked : int;
   sdc : int;
 }
 
-let empty_stats = { runs = 0; hang = 0; os_detected = 0; corrected = 0; masked = 0; sdc = 0 }
+let empty_stats =
+  { runs = 0; hang = 0; deadlock = 0; os_detected = 0; corrected = 0; masked = 0; sdc = 0 }
 
 let add_outcome (s : stats) = function
   | Hang -> { s with runs = s.runs + 1; hang = s.hang + 1 }
+  | Deadlock -> { s with runs = s.runs + 1; deadlock = s.deadlock + 1 }
   | Os_detected -> { s with runs = s.runs + 1; os_detected = s.os_detected + 1 }
   | Elzar_corrected -> { s with runs = s.runs + 1; corrected = s.corrected + 1 }
   | Masked -> { s with runs = s.runs + 1; masked = s.masked + 1 }
@@ -137,11 +193,67 @@ let add_outcome (s : stats) = function
 
 let pct part s = 100.0 *. float_of_int part /. float_of_int (max 1 s.runs)
 
-(* Aggregates into the paper's three Fig. 13 bars. *)
-let crashed_pct s = pct (s.hang + s.os_detected) s
+(* Aggregates into the paper's three Fig. 13 bars (deadlocks are crashes
+   in Table I terms, but tallied separately above). *)
+let crashed_pct s = pct (s.hang + s.deadlock + s.os_detected) s
 let correct_pct s = pct (s.corrected + s.masked) s
 let sdc_pct s = pct s.sdc s
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt "runs=%d crashed=%.1f%% correct=%.1f%% (corrected=%.1f%%) SDC=%.1f%%"
-    s.runs (crashed_pct s) (correct_pct s) (pct s.corrected s) (sdc_pct s)
+    s.runs (crashed_pct s) (correct_pct s) (pct s.corrected s) (sdc_pct s);
+  if s.deadlock > 0 then Format.fprintf fmt " [deadlock=%d]" s.deadlock
+
+(* Per-run observation: everything a campaign keeps from a machine result.
+   Keeping these (rather than bare outcomes) lets campaigns report
+   detection latency and the per-instruction-class AVF table without
+   rerunning anything. *)
+type obs = {
+  o_outcome : outcome;
+  o_cycles : int;  (** wall cycles of the faulty run *)
+  o_class : string option;  (** instruction class at the injection site *)
+  o_latency : int option;  (** detection latency in dynamic instructions *)
+}
+
+let observe ~(golden : Cpu.Machine.result) (r : Cpu.Machine.result) : obs =
+  {
+    o_outcome = classify ~golden r;
+    o_cycles = r.Cpu.Machine.wall_cycles;
+    o_class = r.Cpu.Machine.inject_class;
+    o_latency = r.Cpu.Machine.detect_latency;
+  }
+
+let mean_latency (obs : obs array) : float option =
+  let n = ref 0 and sum = ref 0 in
+  Array.iter
+    (fun o -> match o.o_latency with Some l -> incr n; sum := !sum + l | None -> ())
+    obs;
+  if !n = 0 then None else Some (float_of_int !sum /. float_of_int !n)
+
+(* AVF-style table: for each instruction class at the injection site, the
+   fraction of injections that ended in SDC (the architectural
+   vulnerability of that class) and in crashes.  Rows are sorted by
+   descending SDC rate, ties by run count. *)
+let avf_table (obs : obs array) : (string * stats) list =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun o ->
+      match o.o_class with
+      | None -> ()
+      | Some cls ->
+          let s = try Hashtbl.find tbl cls with Not_found -> empty_stats in
+          Hashtbl.replace tbl cls (add_outcome s o.o_outcome))
+    obs;
+  Hashtbl.fold (fun cls s acc -> (cls, s) :: acc) tbl []
+  |> List.sort (fun (ca, sa) (cb, sb) ->
+         match compare (sdc_pct sb) (sdc_pct sa) with
+         | 0 -> ( match compare sb.runs sa.runs with 0 -> compare ca cb | c -> c)
+         | c -> c)
+
+let pp_avf fmt (rows : (string * stats) list) =
+  Format.fprintf fmt "%-8s %6s %9s %9s %9s@." "class" "runs" "SDC%" "crashed%" "corr%";
+  List.iter
+    (fun (cls, s) ->
+      Format.fprintf fmt "%-8s %6d %8.1f%% %8.1f%% %8.1f%%@." cls s.runs (sdc_pct s)
+        (crashed_pct s) (correct_pct s))
+    rows

@@ -1,11 +1,17 @@
 (** Fault-injection framework (paper §IV-B): single bit-flips in the
     destination register of one randomly chosen dynamic instruction inside
     hardened code (one lane for YMM destinations, per the SEU model of
-    §III-A), classified against a golden run into the outcomes of
-    Table I.  Whole campaigns are driven by {!Campaign}. *)
+    §III-A), classified against a golden run into the outcomes of Table I.
+    The expanded taxonomy additionally injects memory bit-flips,
+    effective-address faults and control-flow faults (the §VII
+    limitations) via {!Cpu.Machine.fault_kind}.  Whole campaigns are
+    driven by {!Campaign}. *)
 
 type outcome =
-  | Hang  (** program became unresponsive *)
+  | Hang  (** program became unresponsive (instruction budget exhausted) *)
+  | Deadlock
+      (** all threads blocked on each other — counted separately, folded
+          into the crashed bucket for Table I *)
   | Os_detected  (** trap: segfault, division by zero, abort, fail-stop *)
   | Elzar_corrected  (** a recovery routine ran and the output is correct *)
   | Masked  (** fault did not affect the output *)
@@ -16,6 +22,19 @@ type outcome =
 
 val outcome_to_string : outcome -> string
 
+(** Fault-model axis of a campaign.  The first four select one
+    {!Cpu.Machine.fault_kind}; [Mixed] draws a kind per experiment
+    (uniformly among the kinds with at least one site in the golden
+    run). *)
+type model = Reg | Mem | Addr | Cf | Mixed
+
+val model_to_string : model -> string
+
+(** @raise Invalid_argument on anything but ["reg"|"mem"|"addr"|"cf"|"mixed"]. *)
+val model_of_string : string -> model
+
+val all_models : model list
+
 (** Everything needed to run one experiment deterministically. *)
 type run_spec = {
   modul : Ir.Instr.modul;  (** already prepared (hardened or native) *)
@@ -24,6 +43,7 @@ type run_spec = {
   args : int64 array;
   init : Cpu.Machine.t -> unit;  (** host-side input preparation *)
   max_instrs : int;
+  reexec_retries : int;  (** re-execution recovery budget of the build *)
 }
 
 val make_spec :
@@ -31,24 +51,34 @@ val make_spec :
   ?args:int64 array ->
   ?init:(Cpu.Machine.t -> unit) ->
   ?max_instrs:int ->
+  ?reexec_retries:int ->
   Ir.Instr.modul ->
   string ->
   run_spec
 
-(** One pre-drawn experiment: flip [bit] of one lane of the destination of
-    the [at]-th injection-eligible instruction, plus an optional second
-    (lane, bit) flip for multi-bit SEUs (resolved to a non-aliasing target
-    by {!Cpu.Machine.second_flip}). *)
+(** One pre-drawn experiment.  For [Reg_flip]: flip [bit] of one lane of
+    the destination of the [at]-th injection-eligible instruction, plus an
+    optional second (lane, bit) flip for multi-bit SEUs (resolved to a
+    non-aliasing target by {!Cpu.Machine.second_flip}).  The other kinds
+    draw [at] against their own site streams and ignore [lane]/[second]. *)
 type experiment = {
   at : int;
   lane : int;
   bit : int;
   second : (int * int) option;
+  kind : Cpu.Machine.fault_kind;
 }
 
 (** Fault-free reference run; counts the injection-eligible dynamic
-    instructions.  @raise Invalid_argument if the reference run traps. *)
+    instructions and the memory-access / branch site streams.
+    @raise Invalid_argument if the reference run traps. *)
 val golden : run_spec -> Cpu.Machine.result
+
+(** Instruction budget for injection runs, derived from the golden run:
+    [min spec.max_instrs (max 1_000_000 (20 * golden retired instrs))].
+    Campaigns use this instead of the spec's (much larger) default budget
+    so hung runs are cut off quickly. *)
+val hang_budget : golden:Cpu.Machine.result -> run_spec -> int
 
 (** Classification against the golden run.  A run whose injection site was
     never reached ([fault_injected = false]) is [Not_reached], not
@@ -56,8 +86,9 @@ val golden : run_spec -> Cpu.Machine.result
 val classify : golden:Cpu.Machine.result -> Cpu.Machine.result -> outcome
 
 (** Runs one experiment and returns the raw machine result (outcome via
-    {!classify}; simulated cycles via [wall_cycles]). *)
-val run_experiment : run_spec -> experiment -> Cpu.Machine.result
+    {!classify}; simulated cycles via [wall_cycles]).  [max_instrs]
+    overrides the spec's budget — campaigns pass {!hang_budget}. *)
+val run_experiment : ?max_instrs:int -> run_spec -> experiment -> Cpu.Machine.result
 
 (** One experiment: flip [bit] of one lane of the destination of the
     [at]-th injection-eligible instruction. *)
@@ -78,6 +109,7 @@ val inject_two :
 type stats = {
   runs : int;
   hang : int;
+  deadlock : int;
   os_detected : int;
   corrected : int;
   masked : int;
@@ -90,9 +122,30 @@ val empty_stats : stats
     unchanged: such a run injected nothing and must not dilute the rates. *)
 val add_outcome : stats -> outcome -> stats
 
-(** The three Fig. 13 bars. *)
+(** The three Fig. 13 bars ([crashed_pct] includes deadlocks). *)
 val crashed_pct : stats -> float
 
 val correct_pct : stats -> float
 val sdc_pct : stats -> float
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Per-run observation kept by campaigns: outcome plus wall cycles,
+    injection-site instruction class and detection latency. *)
+type obs = {
+  o_outcome : outcome;
+  o_cycles : int;
+  o_class : string option;
+  o_latency : int option;
+}
+
+val observe : golden:Cpu.Machine.result -> Cpu.Machine.result -> obs
+
+(** Mean detection latency (dynamic instructions) over the observations
+    that detected their fault; [None] if none did. *)
+val mean_latency : obs array -> float option
+
+(** AVF-style table: per injection-site instruction class, outcome stats;
+    sorted by descending SDC rate. *)
+val avf_table : obs array -> (string * stats) list
+
+val pp_avf : Format.formatter -> (string * stats) list -> unit

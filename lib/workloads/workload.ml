@@ -32,6 +32,11 @@ let execute ?(machine_cfg = Cpu.Machine.default_config) (w : t) ~(build : Elzar.
     ~(nthreads : int) ~(size : size) : Cpu.Machine.result =
   let m = w.build size in
   let prepared = Elzar.prepare build m in
+  let machine_cfg =
+    { machine_cfg with
+      Cpu.Machine.reexec_retries =
+        max machine_cfg.Cpu.Machine.reexec_retries (Elzar.reexec_retries build) }
+  in
   let machine =
     Cpu.Machine.create ~cfg:machine_cfg ~flags_cmp:(Elzar.uses_flags_cmp build) prepared
   in
@@ -39,10 +44,15 @@ let execute ?(machine_cfg = Cpu.Machine.default_config) (w : t) ~(build : Elzar.
   Cpu.Machine.run ~args:[| Int64.of_int nthreads |] machine "main"
 
 (* Same, but from an already prepared module (lets benchmarks prepare once
-   and sweep thread counts). *)
-let execute_prepared ?(machine_cfg = Cpu.Machine.default_config) (w : t)
-    ~(prepared : Ir.Instr.modul) ~(flags_cmp : bool) ~(nthreads : int) ~(size : size) :
-    Cpu.Machine.result =
+   and sweep thread counts).  [reexec_retries] must be supplied again
+   because the build flavour is no longer visible here. *)
+let execute_prepared ?(machine_cfg = Cpu.Machine.default_config) ?(reexec_retries = 0)
+    (w : t) ~(prepared : Ir.Instr.modul) ~(flags_cmp : bool) ~(nthreads : int)
+    ~(size : size) : Cpu.Machine.result =
+  let machine_cfg =
+    { machine_cfg with
+      Cpu.Machine.reexec_retries = max machine_cfg.Cpu.Machine.reexec_retries reexec_retries }
+  in
   let machine = Cpu.Machine.create ~cfg:machine_cfg ~flags_cmp prepared in
   w.init size machine;
   Cpu.Machine.run ~args:[| Int64.of_int nthreads |] machine "main"
@@ -56,4 +66,4 @@ let fi_spec (w : t) ~(build : Elzar.build) ?(nthreads = 2) ?(size = Tiny) () :
   Fault.make_spec ~flags_cmp:(Elzar.uses_flags_cmp build)
     ~args:[| Int64.of_int nthreads |]
     ~init:(fun machine -> w.init size machine)
-    prepared "main"
+    ~reexec_retries:(Elzar.reexec_retries build) prepared "main"

@@ -32,9 +32,13 @@ val execute :
   size:size ->
   Cpu.Machine.result
 
-(** Same, from an already prepared module (prepare once, sweep threads). *)
+(** Same, from an already prepared module (prepare once, sweep threads).
+    [reexec_retries] re-supplies the re-execution recovery budget of the
+    build (the flavour is no longer visible from the prepared module);
+    use [Elzar.reexec_retries]. *)
 val execute_prepared :
   ?machine_cfg:Cpu.Machine.config ->
+  ?reexec_retries:int ->
   t ->
   prepared:Ir.Instr.modul ->
   flags_cmp:bool ->
