@@ -1,0 +1,121 @@
+(** Interpreter microbenchmark: simulated MIPS (million dynamic
+    instructions retired per host second) of the reference interpreter vs
+    the closure-compiled engine, per build flavour.  This is the direct
+    measure of the threaded-code tier's win (EXPERIMENTS.md §interp);
+    campaign-level wall time is measured by [campaign_speed].
+
+    Emits BENCH_interp.json next to the working directory so CI can track
+    the MIPS of both tiers over time. *)
+
+let benchmarks = [ "hist"; "linreg"; "km" ]
+let flavours = [ Common.native; Common.native_novec; Common.elzar; Common.swiftr ]
+
+type sample = {
+  s_bench : string;
+  s_flavour : string;
+  s_engine : string;
+  s_mode : string;  (** "plain" or "census" (the campaign golden-run config) *)
+  s_instrs : int;
+  s_seconds : float;
+  s_mips : float;
+}
+
+(* One timed simulation run.  Machine construction (memory image, IR
+   loading, input preparation) stays outside the timed region — this
+   benchmark isolates the interpretation rate itself; the closure engine's
+   one-time translation happens inside (first quantum) and is part of its
+   cost. *)
+let time_run (w : Workloads.Workload.t) (f : Common.flavour) ~(census : bool)
+    (engine : Cpu.Machine.engine_kind) : int * float =
+  let prepared = Common.prepared w f !Common.size in
+  let cfg =
+    {
+      Cpu.Machine.default_config with
+      Cpu.Machine.engine;
+      count_inject_sites = census;
+      reexec_retries = Elzar.reexec_retries f.Common.build;
+    }
+  in
+  let machine =
+    Cpu.Machine.create ~cfg ~flags_cmp:(Elzar.uses_flags_cmp f.Common.build) prepared
+  in
+  w.Workloads.Workload.init !Common.size machine;
+  let t0 = Unix.gettimeofday () in
+  let r = Cpu.Machine.run ~args:[| 2L |] machine "main" in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match r.Cpu.Machine.trap with
+  | Some t -> failwith ("bench interp: trapped: " ^ Cpu.Machine.string_of_trap t)
+  | None -> ());
+  (r.Cpu.Machine.totals.Cpu.Counters.instrs, dt)
+
+let engine_name = function
+  | Cpu.Machine.Reference -> "reference"
+  | Cpu.Machine.Closure -> "closure"
+
+let measure (w : Workloads.Workload.t) (f : Common.flavour) ~(census : bool)
+    (engine : Cpu.Machine.engine_kind) : sample =
+  ignore (time_run w f ~census engine);  (* warm-up: page in code paths and caches *)
+  let instrs, dt = time_run w f ~census engine in
+  {
+    s_bench = w.Workloads.Workload.name;
+    s_flavour = f.Common.tag;
+    s_engine = engine_name engine;
+    s_mode = (if census then "census" else "plain");
+    s_instrs = instrs;
+    s_seconds = dt;
+    s_mips = float_of_int instrs /. 1e6 /. dt;
+  }
+
+let emit_json path (samples : sample list) (speedups : (string * float) list) =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"size\": %S,\n  \"samples\": [\n"
+    (Workloads.Workload.size_to_string !Common.size);
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc
+        "    {\"bench\": %S, \"flavour\": %S, \"engine\": %S, \"mode\": %S, \
+         \"instrs\": %d, \"seconds\": %.4f, \"mips\": %.2f}%s\n"
+        s.s_bench s.s_flavour s.s_engine s.s_mode s.s_instrs s.s_seconds s.s_mips
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  Printf.fprintf oc "  ],\n  \"closure_speedup\": {\n";
+  List.iteri
+    (fun i (tag, x) ->
+      Printf.fprintf oc "    %S: %.2f%s\n" tag x
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc
+
+let run () =
+  Common.heading "Interpreter MIPS: reference interpreter vs closure engine";
+  Printf.printf "%-10s %-14s %-7s %10s %10s %8s\n" "bench" "flavour" "mode" "ref MIPS"
+    "clos MIPS" "speedup";
+  let samples = ref [] in
+  let speedups = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun census ->
+          let per = ref [] in
+          List.iter
+            (fun name ->
+              let w = Workloads.Registry.find name in
+              let sr = measure w f ~census Cpu.Machine.Reference in
+              let sc = measure w f ~census Cpu.Machine.Closure in
+              samples := !samples @ [ sr; sc ];
+              per := (sc.s_mips /. sr.s_mips) :: !per;
+              Printf.printf "%-10s %-14s %-7s %10.2f %10.2f %7.2fx\n" name f.Common.tag
+                sr.s_mode sr.s_mips sc.s_mips (sc.s_mips /. sr.s_mips))
+            benchmarks;
+          speedups :=
+            !speedups
+            @ [ (f.Common.tag ^ "/" ^ (if census then "census" else "plain"),
+                 Common.gmean !per) ])
+        [ false; true ])
+    flavours;
+  List.iter
+    (fun (tag, x) -> Printf.printf "%-25s gmean closure speedup %.2fx\n" tag x)
+    !speedups;
+  emit_json "BENCH_interp.json" !samples !speedups;
+  Printf.printf "wrote BENCH_interp.json\n"

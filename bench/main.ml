@@ -15,6 +15,8 @@ let experiments =
     ("tab3", Tab03.run);
     ("fig13", Fig13.run);
     ("fig13x", Fig13x.run);
+    ("interp", Interp.run);
+    ("campaign", Campaign_speed.run);
     ("fig14", Fig14.run);
     ("floatonly", Floatonly.run);
     ("fig15", Fig15.run);

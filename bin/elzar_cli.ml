@@ -87,9 +87,15 @@ let run_cmd =
 (* ---- inject ---- *)
 
 let inject_cmd =
-  let run name build n seed jobs double same_bit model avf checkpoint quiet =
+  let run name build n seed jobs double same_bit model avf checkpoint quiet
+      reference_engine no_fast_forward =
     let w = Workloads.Registry.find name in
     let spec = Workloads.Workload.fi_spec w ~build () in
+    let spec =
+      if reference_engine then { spec with Fault.engine = Cpu.Machine.Reference }
+      else spec
+    in
+    let fast_forward = not no_fast_forward in
     let progress =
       if quiet then None
       else
@@ -103,11 +109,15 @@ let inject_cmd =
     in
     let model = Fault.model_of_string model in
     let report =
-      if double then Campaign.double ~seed ~n ~same_bit ?jobs ?progress ?checkpoint spec
+      if double then
+        Campaign.double ~seed ~n ~same_bit ?jobs ?progress ?checkpoint ~fast_forward spec
       else
         match model with
-        | Fault.Reg -> Campaign.single ~seed ~n ?jobs ?progress ?checkpoint spec
-        | m -> Campaign.model_campaign ~seed ~n ?jobs ?progress ?checkpoint ~model:m spec
+        | Fault.Reg ->
+            Campaign.single ~seed ~n ?jobs ?progress ?checkpoint ~fast_forward spec
+        | m ->
+            Campaign.model_campaign ~seed ~n ?jobs ?progress ?checkpoint ~fast_forward
+              ~model:m spec
     in
     Format.printf "%a@." Fault.pp_stats report.Campaign.stats;
     let obs = Array.map snd report.Campaign.outcomes in
@@ -154,10 +164,22 @@ let inject_cmd =
                    the same parameters resumes from it instead of restarting.")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the progress meter.") in
+  let reference_engine =
+    Arg.(value & flag
+         & info [ "reference-engine" ]
+             ~doc:"Execute on the reference interpreter instead of the closure-compiled \
+                   engine. Results are bit-identical; only wall time differs.")
+  in
+  let no_fast_forward =
+    Arg.(value & flag
+         & info [ "no-fast-forward" ]
+             ~doc:"Disable snapshot fast-forward: every injection run replays the whole \
+                   fault-free prefix. Results are bit-identical; only wall time differs.")
+  in
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(const run $ name_arg $ build_arg $ n $ seed $ jobs $ double $ same_bit $ model
-          $ avf $ checkpoint $ quiet)
+          $ avf $ checkpoint $ quiet $ reference_engine $ no_fast_forward)
 
 (* ---- show ---- *)
 

@@ -15,6 +15,9 @@ let table_size = 1 lsl table_bits
 
 let create () = { table = Array.make table_size 1; history = 0; branches = 0; misses = 0 }
 
+(* Independent deep copy, for machine snapshots. *)
+let copy (p : t) : t = { p with table = Array.copy p.table }
+
 (* Records the outcome of a conditional branch at [pc]; returns [true] when
    the prediction was wrong. *)
 let record (p : t) ~(pc : int) ~(taken : bool) : bool =

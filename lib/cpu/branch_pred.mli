@@ -11,6 +11,9 @@ type t = {
 
 val create : unit -> t
 
+(** Independent deep copy (for machine snapshots). *)
+val copy : t -> t
+
 (** Records a conditional branch outcome; returns [true] when the
     prediction was wrong. *)
 val record : t -> pc:int -> taken:bool -> bool

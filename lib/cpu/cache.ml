@@ -29,6 +29,10 @@ let create ?(size_kb = 32) ?(ways = 8) () =
     misses = 0;
   }
 
+(* Independent deep copy, for machine snapshots. *)
+let copy (c : t) : t =
+  { c with tags = Array.copy c.tags; stamps = Array.copy c.stamps }
+
 let hit_latency = 4
 let miss_latency = 44
 

@@ -14,6 +14,10 @@ type t = {
 }
 
 val create : ?size_kb:int -> ?ways:int -> unit -> t
+
+(** Independent deep copy (for machine snapshots). *)
+val copy : t -> t
+
 val hit_latency : int
 val miss_latency : int
 

@@ -28,6 +28,9 @@ let create () =
     cycles = 0;
   }
 
+(* Independent copy, for machine snapshots (all fields are immediate). *)
+let copy (c : t) : t = { c with instrs = c.instrs }
+
 let add (a : t) (b : t) : t =
   {
     instrs = a.instrs + b.instrs;

@@ -16,6 +16,9 @@ type t = {
 
 val create : unit -> t
 
+(** Independent copy (for machine snapshots). *)
+val copy : t -> t
+
 (** Pointwise sum; [cycles] is the max (cores run in parallel). *)
 val add : t -> t -> t
 

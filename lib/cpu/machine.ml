@@ -125,6 +125,16 @@ let second_flip ~(dlanes : int) ~(lane : int) ~(bit : int) ~(lane2 : int) ~(bit2
   else if l2 = l1 then ((l1 + 1 + (lane2 mod (dlanes - 1))) mod dlanes, b2)
   else (l2, b2)
 
+(* Two-tier execution engine.  [Closure] is the threaded-code tier: at
+   machine-build time every [rinstr] is translated into a pre-specialized
+   OCaml closure (operand offsets, lane strides, flag bookkeeping and the
+   fault-injection hooks of *this* config resolved once), and the dispatch
+   loop just tail-calls through the closure array.  [Reference] is the
+   original [step] interpreter, kept as the executable spec: both tiers
+   are required to produce bit-identical results (cycles, counters,
+   output, traps), which the engine-equivalence tests assert. *)
+type engine_kind = Reference | Closure
+
 type config = {
   max_instrs : int;
   inject : inject option;
@@ -138,6 +148,7 @@ type config = {
   trace : Buffer.t option;
       (** per-instruction execution trace (requires [debug] compilation);
           capped at ~1 MB — the Intel SDE debugtrace analogue of §IV-B *)
+  engine : engine_kind;
 }
 
 let default_config =
@@ -148,12 +159,23 @@ let default_config =
     stack_size = 1 lsl 17;
     reexec_retries = 0;
     trace = None;
+    engine = Closure;
   }
 
 type t = {
   code : Code.t;
   mem : Memory.t;
   mutable threads : thread list;  (** reverse spawn order *)
+  mutable by_tid : thread array;
+      (** tid-indexed view of [threads] (tids are dense spawn indices);
+          O(1) lookup on the hot join path.  Only the first [nthreads]
+          entries are meaningful. *)
+  mutable kcode : (thread -> frame -> int) array array;
+      (** closure-compiled code, indexed by [cf_id] then [pc]; built
+          lazily on the first [resume] under the [Closure] engine *)
+  mutable snap_base : Bytes.t;
+      (** memory image at the first snapshot of this run; empty until
+          [snapshot] is first called *)
   mutable nthreads : int;
   output : Buffer.t;
   alloc_sizes : (int64, int) Hashtbl.t;
@@ -201,6 +223,9 @@ let create ?(cfg = default_config) ?(flags_cmp = false) (m : Ir.Instr.modul) : t
     code;
     mem;
     threads = [];
+    by_tid = [||];
+    kcode = [||];
+    snap_base = Bytes.empty;
     nthreads = 0;
     output = Buffer.create 256;
     alloc_sizes = Hashtbl.create 64;
@@ -298,6 +323,12 @@ let spawn_thread (m : t) (cf : Code.cfunc) (args : int64 array) ~(start_cycle : 
           ck_tries = 0;
         };
   m.threads <- th :: m.threads;
+  if m.nthreads >= Array.length m.by_tid then begin
+    let grown = Array.make (max 4 (2 * Array.length m.by_tid)) th in
+    Array.blit m.by_tid 0 grown 0 (Array.length m.by_tid);
+    m.by_tid <- grown
+  end;
+  m.by_tid.(m.nthreads) <- th;
   m.nthreads <- m.nthreads + 1;
   th
 
@@ -318,7 +349,8 @@ let finish_thread (m : t) (th : thread) =
   th.ctr.Counters.cycles <- th.final_cycle - th.start_cycle;
   wake_joiners m th
 
-let find_thread (m : t) tid = List.find_opt (fun th -> th.tid = tid) m.threads
+let find_thread (m : t) tid =
+  if tid >= 0 && tid < m.nthreads then Some m.by_tid.(tid) else None
 
 (* ---- fault bookkeeping ---- *)
 
@@ -511,19 +543,46 @@ let exec_builtin (m : t) (th : thread) (fr : frame) (id : int) (args : int64 arr
 (* ---- interpreter ---- *)
 
 let majority4 ~(n : int) (get : int -> int64) : int64 =
-  (* value appearing at least twice among n lanes; raises if none *)
-  let rec pick i =
-    if i >= n then raise (Trap Elzar_fatal)
+  (* Value appearing at least twice among n lanes; raises if none.  The
+     n<=4 chain is branch-ordered to early-exit on the overwhelmingly
+     common all-agree case while preserving the reference scan order: lane
+     0 is compared against every other lane before lane 1 is considered,
+     so ties like (a,b,b,a) still resolve to lane 0's value. *)
+  if n <= 0 then raise (Trap Elzar_fatal)
+  else if n = 1 then get 0
+  else begin
+    let v0 = get 0 and v1 = get 1 in
+    if v0 = v1 then v0
+    else if n = 2 then raise (Trap Elzar_fatal)
     else begin
-      let v = get i in
-      let count = ref 0 in
-      for j = 0 to n - 1 do
-        if get j = v then incr count
-      done;
-      if !count >= 2 || n = 1 then v else pick (i + 1)
+      let v2 = get 2 in
+      if v0 = v2 then v0
+      else if n = 3 then (if v1 = v2 then v1 else raise (Trap Elzar_fatal))
+      else begin
+        let v3 = get 3 in
+        if v0 = v3 then v0
+        else if v1 = v2 || v1 = v3 then v1
+        else if v2 = v3 then v2
+        else if n = 4 then raise (Trap Elzar_fatal)
+        else begin
+          (* n > 4 never occurs with AVX-width replication; keep the
+             reference scan as a fallback *)
+          let rec pick i =
+            if i >= n then raise (Trap Elzar_fatal)
+            else begin
+              let v = get i in
+              let count = ref 0 in
+              for j = 0 to n - 1 do
+                if get j = v then incr count
+              done;
+              if !count >= 2 then v else pick (i + 1)
+            end
+          in
+          pick 0
+        end
+      end
     end
-  in
-  pick 0
+  end
 
 (* Instruction class of an injection site, for the AVF-style per-class
    vulnerability table. *)
@@ -546,18 +605,23 @@ let class_of (op : Code.rinstr) : string =
   | Code.Tunreachable ->
       "branch"
 
+(* Trace emission, split out of [step] so the untraced quantum loop never
+   touches the formatting code: when [cfg.trace = None] the per-step
+   Printf work (and even the option check) is skipped entirely. *)
+let emit_trace (buf : Buffer.t) (th : thread) =
+  let fr = List.hd th.frames in
+  if Buffer.length buf < 1_000_000 && Array.length fr.cf.Code.texts > fr.pc then
+    Buffer.add_string buf
+      (Printf.sprintf "T%d %c@%s+%d: %s\n" th.tid
+         (if fr.cf.Code.cf_hardened then 'H' else '.')
+         fr.cf.Code.cf_name fr.pc fr.cf.Code.texts.(fr.pc))
+
 (* Executes one instruction of [th]; returns [false] when the thread left
-   the Running state or terminated. *)
+   the Running state or terminated.  Trace emission lives in the quantum
+   loop ([ref_quantum]), not here. *)
 let step (m : t) (th : thread) : bool =
   let fr = List.hd th.frames in
   let it = fr.cf.Code.code.(fr.pc) in
-  (match m.cfg.trace with
-  | Some buf when Buffer.length buf < 1_000_000 && Array.length fr.cf.Code.texts > fr.pc ->
-      Buffer.add_string buf
-        (Printf.sprintf "T%d %c@%s+%d: %s\n" th.tid
-           (if fr.cf.Code.cf_hardened then 'H' else '.')
-           fr.cf.Code.cf_name fr.pc fr.cf.Code.texts.(fr.pc))
-  | _ -> ());
   m.total_instrs <- m.total_instrs + 1;
   if m.total_instrs > m.cfg.max_instrs then raise (Trap Hang);
   let ctr = th.ctr in
@@ -1011,9 +1075,777 @@ let step (m : t) (th : thread) : bool =
   if !next_pc >= 0 then fr.pc <- !next_pc;
   !continue_ && th.status = Running
 
+(* ---- closure-compiled (threaded-code) engine ---- *)
+
+(* Return protocol of a compiled instruction closure:
+   -  [r >= 0]: next pc in the same frame; the driver keeps the pc in a
+      local and writes [fr.pc] back only when the quantum budget expires
+      mid-frame.
+   -  [k_switch]: the closure changed the frame stack (call / return /
+      re-execution rollback) and already stored any resume pc; the driver
+      re-fetches the innermost frame.
+   -  [k_yield]: the thread left the Running state (block, lock retry,
+      barrier, thread finished); the closure stored the resume pc. *)
+let k_switch = -1
+let k_yield = -2
+
+let k_touch (th : thread) (addr : int64) : int =
+  let lat = Cache.access th.cache addr in
+  let ctr = th.ctr in
+  ctr.Counters.l1_refs <- ctr.Counters.l1_refs + 1;
+  if lat > Cache.hit_latency then ctr.Counters.l1_misses <- ctr.Counters.l1_misses + 1;
+  lat
+
+(* [k_touch] plus the armed memory-bit-flip check; only compiled into the
+   memory-op closures of Mem_flip campaigns (mirrors [touch] in [step]). *)
+let k_touch_flip (m : t) (th : thread) (cls : string) (width : int) (addr : int64) : int =
+  let lat = k_touch th addr in
+  if m.mem_flip_armed then begin
+    m.mem_flip_armed <- false;
+    match m.cfg.inject with
+    | Some inj -> (
+        let a = Int64.add addr (Int64.of_int (inj.bit lsr 3 mod max width 1)) in
+        try
+          let b = Memory.read m.mem ~width:1 a in
+          Memory.write m.mem ~width:1 a
+            (Int64.logxor b (Int64.of_int (1 lsl (inj.bit land 7))));
+          mark_injected m cls
+        with Memory.Fault _ -> ())
+    | None -> ()
+  end;
+  lat
+
+(* Armed address fault; only compiled into Addr_flip campaigns. *)
+let k_fix_addr (m : t) (cls : string) (a : int64) : int64 =
+  if m.addr_mask = 0L then a
+  else begin
+    let a' = Int64.logxor a m.addr_mask in
+    m.addr_mask <- 0L;
+    mark_injected m cls;
+    a'
+  end
+
+(* Compiles one instruction into a closure specialized on its operands,
+   lane counts, flags and the machine's own config: operand offsets and
+   the [mod lanes] stride are resolved here, and the fault-injection /
+   tracing / undo-log hooks are either compiled in or dropped entirely,
+   once, instead of being re-examined on every dynamic instruction.
+   Semantics — including timing, counter and fault-stream order — mirror
+   [step] exactly; the equivalence tests hold both engines to bit-identical
+   results. *)
+let compile_item (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem) :
+    thread -> frame -> int =
+  let cfg = m.cfg in
+  let uops = it.Code.uops in
+  let nuops = Array.length uops in
+  let dst = it.Code.dst in
+  let fl = it.Code.flags in
+  let cls = class_of it.Code.op in
+  let is_avx = fl land Code.fl_avx <> 0 in
+  let is_load = fl land Code.fl_load <> 0 in
+  let is_store = fl land Code.fl_store <> 0 in
+  let is_branch = fl land Code.fl_branch <> 0 in
+  let hardened = cf.Code.cf_hardened in
+  let is_mem_site = hardened && (is_load || is_store) in
+  let is_br_site =
+    hardened
+    && match it.Code.op with Code.Tcondbr _ | Code.Tvbr _ | Code.Tvbr_u _ -> true | _ -> false
+  in
+  let reexec_on = cfg.reexec_retries > 0 in
+  let addr_faults = match cfg.inject with Some i -> i.kind = Addr_flip | None -> false in
+  let mem_faults = match cfg.inject with Some i -> i.kind = Mem_flip | None -> false in
+  let cf_faults = match cfg.inject with Some i -> i.kind = Branch_flip | None -> false in
+  let next = pc + 1 in
+  (* Operand accessors with the stride resolved at compile time: [lane_fn]
+     keeps [get_lane]'s general wrap; [get_fn ~n] additionally drops the
+     [mod lanes] when the operand covers all n lanes of the consumer. *)
+  let lane_fn (o : Code.rop) : int64 array -> int -> int64 =
+    match o with
+    | Code.Oconst a ->
+        if Array.length a = 1 then fun _ _ -> a.(0)
+        else
+          let la = Array.length a in
+          fun _ j -> a.(j mod la)
+    | Code.Oslot (off, 1) -> fun regs _ -> regs.(off)
+    | Code.Oslot (off, l) -> fun regs j -> regs.(off + (j mod l))
+  in
+  let get_fn ~(n : int) (o : Code.rop) : int64 array -> int -> int64 =
+    match o with
+    | Code.Oslot (off, l) when n > 0 && l >= n -> fun regs j -> regs.(off + j)
+    | Code.Oconst a when n > 1 && Array.length a >= n -> fun _ j -> a.(j)
+    | o -> lane_fn o
+  in
+  let scalar_fn (o : Code.rop) : int64 array -> int64 =
+    match o with
+    | Code.Oslot (off, _) -> fun regs -> regs.(off)
+    | Code.Oconst a -> fun _ -> a.(0)
+  in
+  let rop_lanes = function
+    | Code.Oslot (_, l) -> l
+    | Code.Oconst a -> Array.length a
+  in
+  let srcs = it.Code.srcs in
+  let ready_of : frame -> int =
+    match Array.length srcs with
+    | 0 -> fun _ -> 0
+    | 1 ->
+        let s0 = srcs.(0) in
+        fun fr -> fr.ready.(s0)
+    | 2 ->
+        let s0 = srcs.(0) and s1 = srcs.(1) in
+        fun fr ->
+          let a = fr.ready.(s0) and b = fr.ready.(s1) in
+          if a > b then a else b
+    | ns ->
+        fun fr ->
+          let r = ref 0 in
+          let ra = fr.ready in
+          for i = 0 to ns - 1 do
+            if ra.(srcs.(i)) > !r then r := ra.(srcs.(i))
+          done;
+          !r
+  in
+  (* timing epilogues shared by the op bodies (same order as [step]) *)
+  let finish_plain th (fr : frame) ready mem_lat =
+    let completion = Timing.exec th.timing ~ready ~mem_lat uops in
+    if dst >= 0 then fr.ready.(dst) <- completion
+  in
+  let finish_branch th ready ~taken ~force_miss =
+    let completion = Timing.exec th.timing ~ready ~mem_lat:Cache.hit_latency uops in
+    let miss = Branch_pred.record th.bpred ~pc ~taken in
+    if miss || force_miss then begin
+      th.ctr.Counters.branch_misses <- th.ctr.Counters.branch_misses + 1;
+      Timing.mispredict th.timing ~resolved:completion
+    end
+  in
+  (* must run before the [th.frames] push: [ck_caller]/[ck_sp] capture the
+     caller's state *)
+  let arm_ckpt th (cfc : Code.cfunc) args cdst (nf : frame) =
+    if th.ck = None then
+      th.ck <-
+        Some
+          {
+            ck_cf = cfc;
+            ck_args = args;
+            ck_ret_off = cdst;
+            ck_sp = th.sp;
+            ck_caller = th.frames;
+            ck_out_len = Buffer.length m.output;
+            ck_frame = nf;
+            ck_log = [];
+            ck_log_len = 0;
+            ck_valid = true;
+            ck_tries = 0;
+          }
+  in
+  let body : thread -> frame -> int -> int =
+    match it.Code.op with
+    | Code.Rbinop (d, n, f, a, b) ->
+        let ga = get_fn ~n a and gb = get_fn ~n b in
+        if n = 1 then
+          fun th fr ready ->
+            (try fr.regs.(d) <- f (ga fr.regs 0) (gb fr.regs 0)
+             with Value.Division_by_zero -> raise (Trap Div_by_zero));
+            finish_plain th fr ready Cache.hit_latency;
+            next
+        else
+          fun th fr ready ->
+            let regs = fr.regs in
+            (try
+               for j = 0 to n - 1 do
+                 regs.(d + j) <- f (ga regs j) (gb regs j)
+               done
+             with Value.Division_by_zero -> raise (Trap Div_by_zero));
+            finish_plain th fr ready Cache.hit_latency;
+            next
+    | Code.Ricmp (d, n, p, tmask, a, b) ->
+        let ga = get_fn ~n a and gb = get_fn ~n b in
+        if n = 1 then
+          fun th fr ready ->
+            fr.regs.(d) <- (if p (ga fr.regs 0) (gb fr.regs 0) then tmask else 0L);
+            finish_plain th fr ready Cache.hit_latency;
+            next
+        else
+          fun th fr ready ->
+            let regs = fr.regs in
+            for j = 0 to n - 1 do
+              regs.(d + j) <- (if p (ga regs j) (gb regs j) then tmask else 0L)
+            done;
+            finish_plain th fr ready Cache.hit_latency;
+            next
+    | Code.Rselect (d, n, c, a, b) ->
+        let gc = get_fn ~n c and ga = get_fn ~n a and gb = get_fn ~n b in
+        fun th fr ready ->
+          let regs = fr.regs in
+          for j = 0 to n - 1 do
+            regs.(d + j) <- (if gc regs j <> 0L then ga regs j else gb regs j)
+          done;
+          finish_plain th fr ready Cache.hit_latency;
+          next
+    | Code.Rcast (d, n, f, a) ->
+        let ga = get_fn ~n a in
+        if n = 1 then
+          fun th fr ready ->
+            fr.regs.(d) <- f (ga fr.regs 0);
+            finish_plain th fr ready Cache.hit_latency;
+            next
+        else
+          fun th fr ready ->
+            let regs = fr.regs in
+            for j = 0 to n - 1 do
+              regs.(d + j) <- f (ga regs j)
+            done;
+            finish_plain th fr ready Cache.hit_latency;
+            next
+    | Code.Rmov (d, n, a) ->
+        let ga = get_fn ~n a in
+        if n = 1 then
+          fun th fr ready ->
+            fr.regs.(d) <- ga fr.regs 0;
+            finish_plain th fr ready Cache.hit_latency;
+            next
+        else
+          fun th fr ready ->
+            let regs = fr.regs in
+            for j = 0 to n - 1 do
+              regs.(d + j) <- ga regs j
+            done;
+            finish_plain th fr ready Cache.hit_latency;
+            next
+    | Code.Rload (d, w, a) ->
+        let ga = scalar_fn a in
+        fun th fr ready ->
+          let addr = ga fr.regs in
+          let addr = if addr_faults then k_fix_addr m cls addr else addr in
+          let lat =
+            try
+              fr.regs.(d) <- Memory.read m.mem ~width:w addr;
+              if mem_faults then k_touch_flip m th cls w addr else k_touch th addr
+            with Memory.Fault x -> raise (Trap (Segfault x))
+          in
+          finish_plain th fr ready lat;
+          next
+    | Code.Rvload (d, n, w, a) ->
+        let ga = scalar_fn a in
+        fun th fr ready ->
+          let addr = ga fr.regs in
+          let addr = if addr_faults then k_fix_addr m cls addr else addr in
+          let lat =
+            try
+              let regs = fr.regs in
+              for j = 0 to n - 1 do
+                regs.(d + j) <-
+                  Memory.read m.mem ~width:w (Int64.add addr (Int64.of_int (j * w)))
+              done;
+              if mem_faults then k_touch_flip m th cls w addr else k_touch th addr
+            with Memory.Fault x -> raise (Trap (Segfault x))
+          in
+          finish_plain th fr ready lat;
+          next
+    | Code.Rstore (w, v, a) ->
+        let ga = scalar_fn a and gv = scalar_fn v in
+        fun th fr ready ->
+          let addr = ga fr.regs in
+          let addr = if addr_faults then k_fix_addr m cls addr else addr in
+          let lat =
+            try
+              if reexec_on then ck_log_write m th ~width:w addr;
+              Memory.write m.mem ~width:w addr (gv fr.regs);
+              if mem_faults then k_touch_flip m th cls w addr else k_touch th addr
+            with Memory.Fault x -> raise (Trap (Segfault x))
+          in
+          finish_plain th fr ready lat;
+          next
+    | Code.Rvstore (n, w, v, a) ->
+        let ga = scalar_fn a and gv = get_fn ~n v in
+        fun th fr ready ->
+          let addr = ga fr.regs in
+          let addr = if addr_faults then k_fix_addr m cls addr else addr in
+          let lat =
+            try
+              let regs = fr.regs in
+              for j = 0 to n - 1 do
+                let aj = Int64.add addr (Int64.of_int (j * w)) in
+                if reexec_on then ck_log_write m th ~width:w aj;
+                Memory.write m.mem ~width:w aj (gv regs j)
+              done;
+              if mem_faults then k_touch_flip m th cls w addr else k_touch th addr
+            with Memory.Fault x -> raise (Trap (Segfault x))
+          in
+          finish_plain th fr ready lat;
+          next
+    | Code.Ralloca (d, size) ->
+        let sz = Int64.of_int (Memory.align16 size) in
+        fun th fr ready ->
+          th.sp <- Int64.sub th.sp sz;
+          fr.regs.(d) <- th.sp;
+          finish_plain th fr ready Cache.hit_latency;
+          next
+    | Code.Rcall (Code.Direct fid, argops, cdst, _) ->
+        let getters = Array.map scalar_fn argops in
+        let nargs = Array.length getters in
+        let cfc = m.code.Code.cfuncs.(fid) in
+        let poffs = cfc.Code.param_offs in
+        let arm = reexec_on && cfc.Code.cf_hardened in
+        fun th fr ready ->
+          let regs = fr.regs in
+          let args = Array.make nargs 0L in
+          for i = 0 to nargs - 1 do
+            args.(i) <- getters.(i) regs
+          done;
+          let completion = Timing.exec th.timing ~ready ~mem_lat:4 uops in
+          let nf = new_frame cfc ~ret_off:cdst ~sp:th.sp in
+          for i = 0 to nargs - 1 do
+            let off, lanes = poffs.(i) in
+            for j = 0 to lanes - 1 do
+              nf.regs.(off + j) <- args.(i)
+            done;
+            nf.ready.(off) <- completion
+          done;
+          fr.pc <- next;
+          if arm then arm_ckpt th cfc args cdst nf;
+          th.frames <- nf :: th.frames;
+          k_switch
+    | Code.Rcall (Code.Builtin id, argops, cdst, cdl) ->
+        let getters = Array.map scalar_fn argops in
+        let nargs = Array.length getters in
+        fun th fr _ready ->
+          let regs = fr.regs in
+          let args = Array.make nargs 0L in
+          for i = 0 to nargs - 1 do
+            args.(i) <- getters.(i) regs
+          done;
+          (match exec_builtin m th fr id args cdst cdl with
+          | Bdone -> next
+          | Bretry ->
+              fr.pc <- pc;
+              k_yield
+          | Bblock tid ->
+              th.status <- Waiting tid;
+              fr.pc <- next;
+              k_yield
+          | Bbarrier addr ->
+              th.status <- Waiting_barrier addr;
+              fr.pc <- next;
+              k_yield
+          | Breexec -> if reexec_rollback m th then k_switch else raise (Trap Elzar_fatal))
+    | Code.Rcall_ind (fp, argops, cdst, _) ->
+        let gfp = scalar_fn fp in
+        let getters = Array.map scalar_fn argops in
+        let nargs = Array.length getters in
+        let nfuncs = Array.length m.code.Code.cfuncs in
+        fun th fr ready ->
+          let regs = fr.regs in
+          let f = gfp regs in
+          let fid = Int64.to_int (Int64.sub f Code.fnptr_base) in
+          if f < Code.fnptr_base || fid >= nfuncs then raise (Trap (Bad_callee f));
+          let args = Array.make nargs 0L in
+          for i = 0 to nargs - 1 do
+            args.(i) <- getters.(i) regs
+          done;
+          let cfc = m.code.Code.cfuncs.(fid) in
+          let completion = Timing.exec th.timing ~ready ~mem_lat:4 uops in
+          let nf = new_frame cfc ~ret_off:cdst ~sp:th.sp in
+          let poffs = cfc.Code.param_offs in
+          for i = 0 to nargs - 1 do
+            let off, lanes = poffs.(i) in
+            for j = 0 to lanes - 1 do
+              nf.regs.(off + j) <- args.(i)
+            done;
+            nf.ready.(off) <- completion
+          done;
+          fr.pc <- next;
+          if reexec_on && cfc.Code.cf_hardened then arm_ckpt th cfc args cdst nf;
+          th.frames <- nf :: th.frames;
+          k_switch
+    | Code.Ratomic (op, d, a, x, w) ->
+        let ga = scalar_fn a and gx = scalar_fn x in
+        let fop =
+          match op with
+          | Ir.Instr.Rmw_add -> Int64.add
+          | Ir.Instr.Rmw_sub -> Int64.sub
+          | Ir.Instr.Rmw_xchg -> fun _ v -> v
+          | Ir.Instr.Rmw_and -> Int64.logand
+          | Ir.Instr.Rmw_or -> Int64.logor
+        in
+        let wmask = Value.mask_of_width (w * 8) in
+        fun th fr ready ->
+          let addr = ga fr.regs in
+          let addr = if addr_faults then k_fix_addr m cls addr else addr in
+          let lat =
+            try
+              let old = Memory.read m.mem ~width:w addr in
+              let nv = fop old (gx fr.regs) in
+              if reexec_on then ck_log_write m th ~width:w addr;
+              Memory.write m.mem ~width:w addr (Int64.logand nv wmask);
+              fr.regs.(d) <- old;
+              if mem_faults then k_touch_flip m th cls w addr else k_touch th addr
+            with Memory.Fault x -> raise (Trap (Segfault x))
+          in
+          finish_plain th fr ready lat;
+          next
+    | Code.Rcmpxchg (d, a, e, dv, w) ->
+        let ga = scalar_fn a and ge = scalar_fn e and gd = scalar_fn dv in
+        fun th fr ready ->
+          let addr = ga fr.regs in
+          let addr = if addr_faults then k_fix_addr m cls addr else addr in
+          let lat =
+            try
+              let old = Memory.read m.mem ~width:w addr in
+              if old = ge fr.regs then begin
+                if reexec_on then ck_log_write m th ~width:w addr;
+                Memory.write m.mem ~width:w addr (gd fr.regs)
+              end;
+              fr.regs.(d) <- old;
+              if mem_faults then k_touch_flip m th cls w addr else k_touch th addr
+            with Memory.Fault x -> raise (Trap (Segfault x))
+          in
+          finish_plain th fr ready lat;
+          next
+    | Code.Rextract (d, v, l) ->
+        let gv = lane_fn v in
+        fun th fr ready ->
+          fr.regs.(d) <- gv fr.regs l;
+          finish_plain th fr ready Cache.hit_latency;
+          next
+    | Code.Rinsert (d, n, v, l, s) ->
+        let gv = get_fn ~n v and gs = scalar_fn s in
+        fun th fr ready ->
+          let regs = fr.regs in
+          for j = 0 to n - 1 do
+            regs.(d + j) <- (if j = l then gs regs else gv regs j)
+          done;
+          finish_plain th fr ready Cache.hit_latency;
+          next
+    | Code.Rbroadcast (d, n, s) ->
+        let gs = scalar_fn s in
+        fun th fr ready ->
+          let regs = fr.regs in
+          let x = gs regs in
+          for j = 0 to n - 1 do
+            regs.(d + j) <- x
+          done;
+          finish_plain th fr ready Cache.hit_latency;
+          next
+    | Code.Rshuffle (d, n, v, perm) ->
+        let gv = get_fn ~n v in
+        (* scratch reused across executions: machines run single-domain,
+           and no closure is re-entered mid-instruction *)
+        let tmp = Array.make n 0L in
+        fun th fr ready ->
+          let regs = fr.regs in
+          for j = 0 to n - 1 do
+            tmp.(j) <- gv regs j
+          done;
+          for j = 0 to n - 1 do
+            regs.(d + j) <- tmp.(perm.(j))
+          done;
+          finish_plain th fr ready Cache.hit_latency;
+          next
+    | Code.Rptestz (d, v) -> (
+        match v with
+        | Code.Oslot (off, lanes) ->
+            fun th fr ready ->
+              let regs = fr.regs in
+              let all_zero = ref true in
+              for j = 0 to lanes - 1 do
+                if regs.(off + j) <> 0L then all_zero := false
+              done;
+              regs.(d) <- (if !all_zero then 1L else 0L);
+              finish_plain th fr ready Cache.hit_latency;
+              next
+        | Code.Oconst a ->
+            let r = if Array.for_all (fun x -> x = 0L) a then 1L else 0L in
+            fun th fr ready ->
+              fr.regs.(d) <- r;
+              finish_plain th fr ready Cache.hit_latency;
+              next)
+    | Code.Rgather (d, n, w, a) ->
+        let alanes = rop_lanes a in
+        let ga = lane_fn a in
+        fun th fr ready ->
+          let regs = fr.regs in
+          let a0 = ga regs 0 in
+          let disagree = ref false in
+          for j = 1 to alanes - 1 do
+            if ga regs j <> a0 then disagree := true
+          done;
+          let addr = if !disagree then majority4 ~n:alanes (fun j -> ga regs j) else a0 in
+          let addr = if addr_faults then k_fix_addr m cls addr else addr in
+          if !disagree then note_recovered m;
+          let lat =
+            try
+              let v = Memory.read m.mem ~width:w addr in
+              for j = 0 to n - 1 do
+                regs.(d + j) <- v
+              done;
+              if mem_faults then k_touch_flip m th cls w addr else k_touch th addr
+            with Memory.Fault x -> raise (Trap (Segfault x))
+          in
+          finish_plain th fr ready lat;
+          next
+    | Code.Rscatter (w, v, a) ->
+        let alanes = rop_lanes a and vlanes = rop_lanes v in
+        let ga = lane_fn a and gv = lane_fn v in
+        fun th fr ready ->
+          let regs = fr.regs in
+          let a0 = ga regs 0 and v0 = gv regs 0 in
+          let disagree = ref false in
+          for j = 1 to alanes - 1 do
+            if ga regs j <> a0 then disagree := true
+          done;
+          for j = 1 to vlanes - 1 do
+            if gv regs j <> v0 then disagree := true
+          done;
+          let addr = if !disagree then majority4 ~n:alanes (fun j -> ga regs j) else a0 in
+          let addr = if addr_faults then k_fix_addr m cls addr else addr in
+          let value = if !disagree then majority4 ~n:vlanes (fun j -> gv regs j) else v0 in
+          if !disagree then note_recovered m;
+          let lat =
+            try
+              if reexec_on then ck_log_write m th ~width:w addr;
+              Memory.write m.mem ~width:w addr value;
+              if mem_faults then k_touch_flip m th cls w addr else k_touch th addr
+            with Memory.Fault x -> raise (Trap (Segfault x))
+          in
+          finish_plain th fr ready lat;
+          next
+    | Code.Tret o ->
+        let ret_fn = match o with Some v -> Some (lane_fn v) | None -> None in
+        let ret_lanes = cf.Code.ret_lanes in
+        fun th fr ready ->
+          let completion = Timing.exec th.timing ~ready ~mem_lat:4 uops in
+          (if reexec_on then
+             (* the checkpointed call completed: commit (drop) the checkpoint *)
+             match th.ck with
+             | Some ck when ck.ck_frame == fr -> th.ck <- None
+             | _ -> ());
+          th.sp <- fr.saved_sp;
+          th.frames <- List.tl th.frames;
+          (match th.frames with
+          | [] ->
+              finish_thread m th;
+              k_yield
+          | caller :: _ ->
+              (match ret_fn with
+              | Some g when fr.ret_off >= 0 ->
+                  let roff = fr.ret_off in
+                  for j = 0 to ret_lanes - 1 do
+                    caller.regs.(roff + j) <- g fr.regs j
+                  done;
+                  caller.ready.(roff) <- completion
+              | _ -> ());
+              k_switch)
+    | Code.Tbr target ->
+        fun th fr ready ->
+          finish_plain th fr ready Cache.hit_latency;
+          target
+    | Code.Tcondbr (c, t, e) ->
+        let gc = scalar_fn c in
+        if cf_faults then
+          fun th fr ready ->
+            let taken = gc fr.regs <> 0L in
+            let taken =
+              if m.cf_divert then begin
+                m.cf_divert <- false;
+                mark_injected m "branch";
+                not taken
+              end
+              else taken
+            in
+            finish_branch th ready ~taken ~force_miss:false;
+            if taken then t else e
+        else
+          fun th fr ready ->
+            let taken = gc fr.regs <> 0L in
+            finish_branch th ready ~taken ~force_miss:false;
+            if taken then t else e
+    | Code.Tvbr (mask, t, e, r) ->
+        let lanes = rop_lanes mask in
+        let gm = get_fn ~n:lanes mask in
+        fun th fr ready ->
+          let regs = fr.regs in
+          let all_true = ref true and all_false = ref true in
+          for j = 0 to lanes - 1 do
+            if gm regs j = 0L then all_true := false else all_false := false
+          done;
+          let at = !all_true and af = !all_false in
+          let npc = if at then t else if af then e else r in
+          let npc =
+            if cf_faults && m.cf_divert then begin
+              m.cf_divert <- false;
+              mark_injected m "branch";
+              if at then e else t
+            end
+            else npc
+          in
+          finish_branch th ready ~taken:(not af) ~force_miss:((not at) && not af);
+          npc
+    | Code.Tvbr_u (mask, t, e) ->
+        let gm = lane_fn mask in
+        fun th fr ready ->
+          let taken = gm fr.regs 0 <> 0L in
+          let taken =
+            if cf_faults && m.cf_divert then begin
+              m.cf_divert <- false;
+              mark_injected m "branch";
+              not taken
+            end
+            else taken
+          in
+          finish_branch th ready ~taken ~force_miss:false;
+          if taken then t else e
+    | Code.Tunreachable -> fun _ _ _ -> raise (Trap Unreachable_executed)
+  in
+  (* per-instruction fault-site streams, compiled to hooks (or to nothing) *)
+  let site_hook : (unit -> unit) option =
+    match cfg.inject with
+    | Some inj -> (
+        match inj.kind with
+        | Mem_flip when is_mem_site ->
+            Some
+              (fun () ->
+                m.mem_count <- m.mem_count + 1;
+                if m.mem_count = inj.at then m.mem_flip_armed <- true)
+        | Addr_flip when is_mem_site ->
+            let bmask = Int64.shift_left 1L (inj.bit land 63) in
+            Some
+              (fun () ->
+                m.mem_count <- m.mem_count + 1;
+                if m.mem_count = inj.at then m.addr_mask <- bmask)
+        | Branch_flip when is_br_site ->
+            Some
+              (fun () ->
+                m.br_count <- m.br_count + 1;
+                if m.br_count = inj.at then m.cf_divert <- true)
+        | _ -> None)
+    | None ->
+        if not cfg.count_inject_sites then None
+        else if is_mem_site then Some (fun () -> m.mem_count <- m.mem_count + 1)
+        else if is_br_site then Some (fun () -> m.br_count <- m.br_count + 1)
+        else None
+  in
+  (* register-SEU stream: applied to the (caller) frame after the op body,
+     exactly like [step]'s epilogue *)
+  let reg_hook : (frame -> unit) option =
+    if fl land Code.fl_inject = 0 then None
+    else
+      match cfg.inject with
+      | Some inj when inj.kind = Reg_flip ->
+          let dlanes = max it.Code.dlanes 1 in
+          Some
+            (fun fr ->
+              m.inj_count <- m.inj_count + 1;
+              if m.inj_count = inj.at then begin
+                let flip lane bit =
+                  let off = dst + (lane mod dlanes) in
+                  fr.regs.(off) <-
+                    Int64.logxor fr.regs.(off) (Int64.shift_left 1L (bit land 63))
+                in
+                flip inj.lane inj.bit;
+                (match inj.second with
+                | Some (l, b) ->
+                    let l, b =
+                      second_flip ~dlanes ~lane:inj.lane ~bit:inj.bit ~lane2:l ~bit2:b
+                    in
+                    flip l b
+                | None -> ());
+                mark_injected m cls
+              end)
+      | Some _ -> None
+      | None ->
+          if cfg.count_inject_sites then Some (fun _ -> m.inj_count <- m.inj_count + 1)
+          else None
+  in
+  let trace_hook : (thread -> unit) option =
+    match cfg.trace with
+    | Some buf when Array.length cf.Code.texts > pc ->
+        let text = cf.Code.texts.(pc) in
+        let tag = if hardened then 'H' else '.' in
+        let name = cf.Code.cf_name in
+        Some
+          (fun th ->
+            if Buffer.length buf < 1_000_000 then
+              Buffer.add_string buf (Printf.sprintf "T%d %c@%s+%d: %s\n" th.tid tag name pc text))
+    | _ -> None
+  in
+  let max_instrs = cfg.max_instrs in
+  fun th fr ->
+    (match trace_hook with None -> () | Some h -> h th);
+    m.total_instrs <- m.total_instrs + 1;
+    if m.total_instrs > max_instrs then raise (Trap Hang);
+    let ctr = th.ctr in
+    ctr.Counters.instrs <- ctr.Counters.instrs + 1;
+    ctr.Counters.uops <- ctr.Counters.uops + nuops;
+    if is_avx then ctr.Counters.avx_instrs <- ctr.Counters.avx_instrs + 1;
+    if is_load then ctr.Counters.loads <- ctr.Counters.loads + 1;
+    if is_store then ctr.Counters.stores <- ctr.Counters.stores + 1;
+    if is_branch then ctr.Counters.branches <- ctr.Counters.branches + 1;
+    (match site_hook with None -> () | Some h -> h ());
+    match reg_hook with
+    | None -> body th fr (ready_of fr)
+    | Some h ->
+        let r = body th fr (ready_of fr) in
+        h fr;
+        r
+
+(* Builds the closure table for every function: [kcode.(cf_id).(pc)] runs
+   that instruction. *)
+let kcompile (m : t) =
+  m.kcode <-
+    Array.map
+      (fun (cf : Code.cfunc) ->
+        Array.mapi (fun pc it -> compile_item m cf pc it) cf.Code.code)
+      m.code.Code.cfuncs
+
 (* ---- scheduler ---- *)
 
 let quantum = 256
+
+(* One scheduling quantum under the reference interpreter.  The traced and
+   untraced loops are split so the common (untraced) path never examines
+   [cfg.trace] per instruction. *)
+let ref_quantum (m : t) (th : thread) =
+  match m.cfg.trace with
+  | None ->
+      let continue_ = ref true in
+      let k = ref 0 in
+      while !continue_ && !k < quantum do
+        incr k;
+        continue_ := step m th
+      done
+  | Some buf ->
+      let continue_ = ref true in
+      let k = ref 0 in
+      while !continue_ && !k < quantum do
+        incr k;
+        emit_trace buf th;
+        continue_ := step m th
+      done
+
+(* One scheduling quantum under the closure engine.  The program counter
+   lives in a local between closures; [fr.pc] is written back only when
+   the quantum budget expires mid-frame (frame switches maintain it
+   inline, per the closure return protocol). *)
+let closure_quantum (m : t) (th : thread) =
+  let budget = ref quantum in
+  let running = ref true in
+  while !running && !budget > 0 do
+    let fr = List.hd th.frames in
+    let code = m.kcode.(fr.cf.Code.cf_id) in
+    let pc = ref fr.pc in
+    let switched = ref false in
+    while (not !switched) && !budget > 0 do
+      let r = code.(!pc) th fr in
+      decr budget;
+      if r >= 0 then pc := r
+      else begin
+        switched := true;
+        if r = k_yield then running := false
+      end
+    done;
+    if not !switched then fr.pc <- !pc
+  done
 
 let pick_next (m : t) : thread option =
   let best = ref None in
@@ -1064,19 +1896,20 @@ let make_result (m : t) (trap : trap_reason option) : result =
        else None);
   }
 
-(* Runs [entry] with scalar [args] to completion of all threads. *)
-let run ?(args = [||]) (m : t) (entry : string) : result =
-  let cf = Code.lookup m.code entry in
-  ignore (spawn_thread m cf args ~start_cycle:0);
+(* Drives the scheduler until every thread is done (or the machine traps),
+   under the configured engine.  [on_quantum] fires after every scheduling
+   quantum — the hook the fault campaign uses to capture snapshots at
+   deterministic (quantum-boundary) points. *)
+let resume ?on_quantum (m : t) : result =
+  if m.cfg.engine = Closure && Array.length m.kcode = 0 then kcompile m;
+  let run_quantum =
+    match m.cfg.engine with Reference -> ref_quantum | Closure -> closure_quantum
+  in
   let rec loop () =
     match pick_next m with
     | Some th ->
-        let continue_ = ref true in
-        let k = ref 0 in
-        while !continue_ && !k < quantum do
-          incr k;
-          continue_ := step m th
-        done;
+        run_quantum m th;
+        (match on_quantum with Some f -> f m | None -> ());
         loop ()
     | None ->
         if List.for_all (fun th -> th.status = Done) m.threads then ()
@@ -1104,6 +1937,274 @@ let run ?(args = [||]) (m : t) (entry : string) : result =
       (* a trap is a detection event for latency purposes *)
       note_detect m;
       make_result m (Some r)
+
+(* Runs [entry] with scalar [args] to completion of all threads. *)
+let run ?(args = [||]) ?on_quantum (m : t) (entry : string) : result =
+  let cf = Code.lookup m.code entry in
+  ignore (spawn_thread m cf args ~start_cycle:0);
+  resume ?on_quantum m
+
+(* ---- machine snapshots (campaign fast-forward) ---- *)
+
+(* A snapshot is a deep, self-contained copy of the architectural and
+   micro-architectural state at a quantum boundary of a fault-free run.
+   Memory is captured copy-on-write style: the first snapshot copies the
+   whole image and turns on cumulative dirty-page journaling, later ones
+   store only the pages dirtied since that base — so a chain of snapshots
+   over a 64 MB address space costs one image plus the working set.
+   [Code.t] and undo-log spines are immutable and shared. *)
+
+type frame_snap = {
+  f_cf : Code.cfunc;
+  f_regs : int64 array;
+  f_ready : int array;
+  f_pc : int;
+  f_ret_off : int;
+  f_saved_sp : int64;
+}
+
+type ckpt_snap = {
+  k_frame_idx : int;  (** position of [ck_frame] in the thread's frame list *)
+  k_cf : Code.cfunc;
+  k_args : int64 array;
+  k_ret_off : int;
+  k_sp : int64;
+  k_out_len : int;
+  k_log : (int64 * int * int64) list;
+  k_log_len : int;
+  k_valid : bool;
+  k_tries : int;
+}
+
+type thread_snap = {
+  t_tid : int;
+  t_frames : frame_snap array;  (** innermost first *)
+  t_timing : Timing.t;
+  t_cache : Cache.t;
+  t_bpred : Branch_pred.t;
+  t_ctr : Counters.t;
+  t_status : status;
+  t_sp : int64;
+  t_start_cycle : int;
+  t_final_cycle : int;
+  t_ck : ckpt_snap option;
+}
+
+type snapshot = {
+  sn_code : Code.t;  (** immutable, shared with the source machine *)
+  sn_base : Bytes.t;
+  sn_pages : (int * Bytes.t) array;
+  sn_meta : Memory.meta;
+  sn_threads : thread_snap list;  (** in [m.threads] order *)
+  sn_nthreads : int;
+  sn_output : string;
+  sn_allocs : (int64 * int) list;
+  sn_total_instrs : int;
+  sn_inj_count : int;
+  sn_mem_count : int;
+  sn_br_count : int;
+  sn_recovered : int;
+  sn_retried : int;
+  sn_reexecs : int;
+}
+
+(* Fault-site counters consumed up to this snapshot, in the order
+   (register sites, memory sites, branch sites) — what the campaign uses
+   to pick the greatest snapshot strictly below an injection site. *)
+let snapshot_sites (sn : snapshot) = (sn.sn_inj_count, sn.sn_mem_count, sn.sn_br_count)
+let snapshot_instrs (sn : snapshot) = sn.sn_total_instrs
+
+let snapshot (m : t) : snapshot =
+  if m.injected then invalid_arg "Machine.snapshot: fault already injected";
+  if Bytes.length m.snap_base = 0 then begin
+    m.snap_base <- Bytes.copy m.mem.Memory.data;
+    Memory.journal_start m.mem
+  end;
+  let snap_thread (th : thread) : thread_snap =
+    let frames =
+      Array.of_list
+        (List.map
+           (fun (fr : frame) ->
+             {
+               f_cf = fr.cf;
+               f_regs = Array.copy fr.regs;
+               f_ready = Array.copy fr.ready;
+               f_pc = fr.pc;
+               f_ret_off = fr.ret_off;
+               f_saved_sp = fr.saved_sp;
+             })
+           th.frames)
+    in
+    let ck =
+      match th.ck with
+      | None -> None
+      | Some ck ->
+          (* [ck_frame] is physically in [th.frames] whenever a checkpoint
+             is live, so the identity survives as a list index *)
+          let idx = ref (-1) in
+          List.iteri (fun i f -> if f == ck.ck_frame then idx := i) th.frames;
+          if !idx < 0 then invalid_arg "Machine.snapshot: detached checkpoint frame";
+          Some
+            {
+              k_frame_idx = !idx;
+              k_cf = ck.ck_cf;
+              k_args = Array.copy ck.ck_args;
+              k_ret_off = ck.ck_ret_off;
+              k_sp = ck.ck_sp;
+              k_out_len = ck.ck_out_len;
+              k_log = ck.ck_log;  (* immutable spine and cells *)
+              k_log_len = ck.ck_log_len;
+              k_valid = ck.ck_valid;
+              k_tries = ck.ck_tries;
+            }
+    in
+    {
+      t_tid = th.tid;
+      t_frames = frames;
+      t_timing = Timing.copy th.timing;
+      t_cache = Cache.copy th.cache;
+      t_bpred = Branch_pred.copy th.bpred;
+      t_ctr = Counters.copy th.ctr;
+      t_status = th.status;
+      t_sp = th.sp;
+      t_start_cycle = th.start_cycle;
+      t_final_cycle = th.final_cycle;
+      t_ck = ck;
+    }
+  in
+  {
+    sn_code = m.code;
+    sn_base = m.snap_base;
+    sn_pages = Memory.journal_capture m.mem;
+    sn_meta = Memory.meta m.mem;
+    sn_threads = List.map snap_thread m.threads;
+    sn_nthreads = m.nthreads;
+    sn_output = Buffer.contents m.output;
+    sn_allocs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.alloc_sizes [];
+    sn_total_instrs = m.total_instrs;
+    sn_inj_count = m.inj_count;
+    sn_mem_count = m.mem_count;
+    sn_br_count = m.br_count;
+    sn_recovered = m.recovered;
+    sn_retried = m.retried;
+    sn_reexecs = m.reexecs;
+  }
+
+let rec list_drop n l = if n <= 0 then l else list_drop (n - 1) (List.tl l)
+
+(* Rebuilds a runnable machine from [sn] under [cfg] (typically a config
+   that arms an injection).  The restored machine continues with [resume].
+   Fault-site counters keep their snapshot values, so a plan drawn against
+   the full golden run stays valid: site number k still fires at the same
+   dynamic instruction. *)
+(* Per-domain memory pool for [restore ~reuse:true]: the last restored
+   run's memory, re-imaged in place (dirty pages reverted against the
+   shared base) instead of re-copying the whole image for every
+   experiment.  Keyed by physical identity of the base image, so a
+   snapshot chain from a different golden run falls back to a fresh
+   copy. *)
+let mem_pool : (Bytes.t * Memory.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let restore ?(cfg = default_config) ?(reuse = false) (sn : snapshot) : t =
+  let mem =
+    let pool = Domain.DLS.get mem_pool in
+    match !pool with
+    | Some (base, pm) when reuse && base == sn.sn_base ->
+        Memory.reimage pm ~base ~pages:sn.sn_pages sn.sn_meta;
+        pm
+    | _ ->
+        let fresh = Memory.of_image ~base:sn.sn_base ~pages:sn.sn_pages sn.sn_meta in
+        if reuse then pool := Some (sn.sn_base, fresh);
+        fresh
+  in
+  let alloc_sizes = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace alloc_sizes k v) sn.sn_allocs;
+  let m =
+    {
+      code = sn.sn_code;
+      mem;
+      threads = [];
+      by_tid = [||];
+      kcode = [||];
+      snap_base = Bytes.empty;
+      nthreads = sn.sn_nthreads;
+      output = Buffer.create (String.length sn.sn_output + 256);
+      alloc_sizes;
+      cfg;
+      total_instrs = sn.sn_total_instrs;
+      inj_count = sn.sn_inj_count;
+      mem_count = sn.sn_mem_count;
+      br_count = sn.sn_br_count;
+      injected = false;
+      recovered = sn.sn_recovered;
+      retried = sn.sn_retried;
+      reexecs = sn.sn_reexecs;
+      addr_mask = 0L;
+      mem_flip_armed = false;
+      cf_divert = false;
+      inject_instr = -1;
+      detect_instr = -1;
+      inject_class = "";
+    }
+  in
+  Buffer.add_string m.output sn.sn_output;
+  let restore_thread (ts : thread_snap) : thread =
+    let frames =
+      Array.to_list
+        (Array.map
+           (fun fs ->
+             {
+               cf = fs.f_cf;
+               regs = Array.copy fs.f_regs;
+               ready = Array.copy fs.f_ready;
+               pc = fs.f_pc;
+               ret_off = fs.f_ret_off;
+               saved_sp = fs.f_saved_sp;
+             })
+           ts.t_frames)
+    in
+    let ck =
+      match ts.t_ck with
+      | None -> None
+      | Some k ->
+          Some
+            {
+              ck_cf = k.k_cf;
+              ck_args = Array.copy k.k_args;
+              ck_ret_off = k.k_ret_off;
+              ck_sp = k.k_sp;
+              ck_caller = list_drop (k.k_frame_idx + 1) frames;
+              ck_out_len = k.k_out_len;
+              ck_frame = List.nth frames k.k_frame_idx;
+              ck_log = k.k_log;
+              ck_log_len = k.k_log_len;
+              ck_valid = k.k_valid;
+              ck_tries = k.k_tries;
+            }
+    in
+    {
+      tid = ts.t_tid;
+      frames;
+      timing = Timing.copy ts.t_timing;
+      cache = Cache.copy ts.t_cache;
+      bpred = Branch_pred.copy ts.t_bpred;
+      ctr = Counters.copy ts.t_ctr;
+      status = ts.t_status;
+      sp = ts.t_sp;
+      start_cycle = ts.t_start_cycle;
+      final_cycle = ts.t_final_cycle;
+      ck;
+    }
+  in
+  m.threads <- List.map restore_thread sn.sn_threads;
+  (match m.threads with
+  | [] -> ()
+  | any :: _ ->
+      let by_tid = Array.make (max m.nthreads 1) any in
+      List.iter (fun th -> by_tid.(th.tid) <- th) m.threads;
+      m.by_tid <- by_tid);
+  m
 
 (* Convenience: build, run, and return the result in one call. *)
 let run_module ?(cfg = default_config) ?(flags_cmp = false) ?(args = [||])

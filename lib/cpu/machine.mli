@@ -109,6 +109,14 @@ type inject = {
 val second_flip :
   dlanes:int -> lane:int -> bit:int -> lane2:int -> bit2:int -> int * int
 
+(** Execution engine selection.  [Closure] (the default) is the
+    threaded-code tier: each instruction is translated once, at machine
+    build, into a closure specialized on its operands and on the config's
+    fault/trace/recovery hooks.  [Reference] is the original interpreter,
+    kept as the executable specification; both engines are required to
+    produce bit-identical results. *)
+type engine_kind = Reference | Closure
+
 type config = {
   max_instrs : int;  (** exceeded -> Hang *)
   inject : inject option;
@@ -121,6 +129,7 @@ type config = {
   trace : Buffer.t option;
       (** per-instruction execution trace, capped at ~1 MB (the Intel SDE
           debugtrace analogue of §IV-B) *)
+  engine : engine_kind;
 }
 
 val default_config : config
@@ -129,6 +138,10 @@ type t = {
   code : Code.t;
   mem : Memory.t;
   mutable threads : thread list;
+  mutable by_tid : thread array;  (** tid-indexed view of [threads] *)
+  mutable kcode : (thread -> frame -> int) array array;
+      (** closure-compiled code, by [cf_id] then pc; built on first resume *)
+  mutable snap_base : Bytes.t;  (** base memory image of the snapshot chain *)
   mutable nthreads : int;
   output : Buffer.t;
   alloc_sizes : (int64, int) Hashtbl.t;
@@ -184,8 +197,41 @@ val create : ?cfg:config -> ?flags_cmp:bool -> Ir.Instr.modul -> t
 val global_addr : t -> string -> int64
 
 (** Runs [entry] with scalar arguments until all threads finish (or a trap
-    or the instruction budget ends the run); never raises. *)
-val run : ?args:int64 array -> t -> string -> result
+    or the instruction budget ends the run); never raises.  [on_quantum]
+    fires after every scheduling quantum (the snapshot-capture hook). *)
+val run : ?args:int64 array -> ?on_quantum:(t -> unit) -> t -> string -> result
+
+(** Drives an already-populated machine (e.g. one rebuilt by {!restore})
+    to completion; same contract as {!run}. *)
+val resume : ?on_quantum:(t -> unit) -> t -> result
+
+(** Deep, self-contained copy of machine state at a quantum boundary of a
+    fault-free run.  Memory is captured copy-on-write style: the first
+    snapshot of a machine copies the image and starts cumulative
+    dirty-page journaling; later ones store only the delta. *)
+type snapshot
+
+(** @raise Invalid_argument if a fault was already injected (snapshots
+    must come from the fault-free prefix). *)
+val snapshot : t -> snapshot
+
+(** Fault-site counters consumed up to the snapshot:
+    (register sites, memory sites, branch sites). *)
+val snapshot_sites : snapshot -> int * int * int
+
+(** Dynamic instructions executed up to the snapshot. *)
+val snapshot_instrs : snapshot -> int
+
+(** Rebuilds a runnable machine from a snapshot under [cfg] (typically a
+    config arming an injection); continue it with {!resume}.  Site
+    counters keep their snapshot values, so plans drawn against the full
+    golden run stay valid.  [reuse] (default [false]) recycles a
+    per-domain pooled memory: the previous [~reuse:true] machine restored
+    on this domain from the same snapshot chain is destructively
+    re-imaged (only its dirty pages are reverted) instead of copying the
+    whole image again — the caller must be done with that machine, which
+    is exactly the one-experiment-at-a-time pattern of campaigns. *)
+val restore : ?cfg:config -> ?reuse:bool -> snapshot -> t
 
 (** [create] + [run]. *)
 val run_module :

@@ -14,11 +14,14 @@ type t = {
   mutable heap_limit : int;  (** heap may not grow past this *)
   mutable free_list : (int * int) list;  (** (addr, len), address-ordered *)
   mutable stack_top : int;
+  mutable journal : Bytes.t;
+      (** dirty-page bitset (one bit per page); length 0 = tracking off *)
 }
 
 exception Fault of int64  (** access outside mapped memory *)
 
 let page = 4096
+let page_bits = 12
 
 let create ?(size = 1 lsl 26) () =
   {
@@ -29,6 +32,7 @@ let create ?(size = 1 lsl 26) () =
     heap_limit = size;
     free_list = [];
     stack_top = size;
+    journal = Bytes.empty;
   }
 
 let align16 n = (n + 15) land lnot 15
@@ -47,9 +51,19 @@ let read (m : t) ~(width : int) (addr : int64) : int64 =
   | 8 -> Bytes.get_int64_le m.data a
   | _ -> invalid_arg "Memory.read: bad width"
 
+(* Marks the page(s) overlapped by a write.  [check] has already bounded
+   the access, so the page indices are in range. *)
+let mark_dirty (m : t) (a : int) (w : int) =
+  let mark p = Bytes.set_uint8 m.journal (p lsr 3)
+      (Bytes.get_uint8 m.journal (p lsr 3) lor (1 lsl (p land 7))) in
+  let p0 = a lsr page_bits and p1 = (a + w - 1) lsr page_bits in
+  mark p0;
+  if p1 <> p0 then mark p1
+
 let write (m : t) ~(width : int) (addr : int64) (v : int64) : unit =
   check m addr width;
   let a = Int64.to_int addr in
+  if Bytes.length m.journal > 0 then mark_dirty m a width;
   match width with
   | 1 -> Bytes.set_uint8 m.data a (Int64.to_int v land 0xFF)
   | 2 -> Bytes.set_uint16_le m.data a (Int64.to_int v land 0xFFFF)
@@ -68,6 +82,8 @@ let alloc_static (m : t) (n : int) : int64 =
 
 let blit_string (m : t) (s : string) (addr : int64) =
   check m addr (String.length s);
+  if Bytes.length m.journal > 0 && String.length s > 0 then
+    mark_dirty m (Int64.to_int addr) (String.length s);
   Bytes.blit_string s 0 m.data (Int64.to_int addr) (String.length s)
 
 (* ---- heap ---- *)
@@ -107,3 +123,100 @@ let alloc_stack (m : t) (n : int) : int64 =
   m.stack_top <- m.stack_top - align16 n;
   if m.stack_top < m.heap_limit then failwith "Memory.alloc_stack: out of stack space";
   Int64.of_int m.stack_top
+
+(* ---- snapshot support (campaign fast-forward) ---- *)
+
+(* Allocator metadata that travels with a snapshot. *)
+type meta = {
+  mt_static_brk : int;
+  mt_heap_base : int;
+  mt_heap_limit : int;
+  mt_free_list : (int * int) list;
+  mt_stack_top : int;
+}
+
+let meta (m : t) : meta =
+  {
+    mt_static_brk = m.static_brk;
+    mt_heap_base = m.heap_base;
+    mt_heap_limit = m.heap_limit;
+    mt_free_list = m.free_list;
+    mt_stack_top = m.stack_top;
+  }
+
+(* Starts copy-on-write-style page tracking: from here on, every simulated
+   store marks its page dirty.  The set is cumulative (never cleared), so
+   any later [journal_capture] is a self-contained delta against the image
+   taken at this point — dropping intermediate snapshots stays sound. *)
+let journal_start (m : t) =
+  m.journal <- Bytes.make ((m.size lsr page_bits) / 8 + 1) '\000'
+
+(* Copies of all pages dirtied since [journal_start], sorted by page. *)
+let journal_capture (m : t) : (int * Bytes.t) array =
+  let pages = ref [] in
+  let npages = m.size lsr page_bits in
+  for p = npages - 1 downto 0 do
+    if Bytes.get_uint8 m.journal (p lsr 3) land (1 lsl (p land 7)) <> 0 then
+      pages := (p, Bytes.sub m.data (p lsl page_bits) page) :: !pages
+  done;
+  Array.of_list !pages
+
+let set_meta (m : t) (mt : meta) =
+  m.static_brk <- mt.mt_static_brk;
+  m.heap_base <- mt.mt_heap_base;
+  m.heap_limit <- mt.mt_heap_limit;
+  m.free_list <- mt.mt_free_list;
+  m.stack_top <- mt.mt_stack_top
+
+(* Applies a snapshot's page delta, marking the pages dirty: after this,
+   the journal is exactly the set of pages that may differ from [base],
+   which is what [reimage] needs to revert cheaply. *)
+let apply_pages (m : t) (pages : (int * Bytes.t) array) =
+  Array.iter
+    (fun (p, b) ->
+      mark_dirty m (p lsl page_bits) 1;
+      Bytes.blit b 0 m.data (p lsl page_bits) (Bytes.length b))
+    pages
+
+(* Rebuilds a memory from a base image plus a page delta.  Journaling is
+   left on in the clone so the pages the run dirties are known — that is
+   what makes [reimage] able to reuse this memory for the next run. *)
+let of_image ~(base : Bytes.t) ~(pages : (int * Bytes.t) array) (mt : meta) : t =
+  let m =
+    {
+      data = Bytes.copy base;
+      size = Bytes.length base;
+      static_brk = 0;
+      heap_base = 0;
+      heap_limit = 0;
+      free_list = [];
+      stack_top = 0;
+      journal = Bytes.empty;
+    }
+  in
+  journal_start m;
+  apply_pages m pages;
+  set_meta m mt;
+  m
+
+(* Re-images a memory previously built by [of_image] from the same [base]
+   (caller checks identity) into a fresh base+delta state, without copying
+   the whole image: only the pages recorded dirty — the previous delta
+   plus everything the previous run stored to — are reverted.  This is the
+   per-experiment fast path of campaign fast-forward: the full-image copy
+   is paid once per (domain, golden run), not once per injection. *)
+let reimage (m : t) ~(base : Bytes.t) ~(pages : (int * Bytes.t) array) (mt : meta) : unit =
+  let npages = m.size lsr page_bits in
+  for byte = 0 to ((npages - 1) lsr 3) do
+    let bits = Bytes.get_uint8 m.journal byte in
+    if bits <> 0 then begin
+      for b = 0 to 7 do
+        let p = (byte lsl 3) + b in
+        if bits land (1 lsl b) <> 0 && p < npages then
+          Bytes.blit base (p lsl page_bits) m.data (p lsl page_bits) page
+      done;
+      Bytes.set_uint8 m.journal byte 0
+    end
+  done;
+  apply_pages m pages;
+  set_meta m mt

@@ -16,6 +16,8 @@ type t = {
   mutable heap_limit : int;
   mutable free_list : (int * int) list;
   mutable stack_top : int;
+  mutable journal : Bytes.t;
+      (** dirty-page bitset for snapshot deltas; empty = tracking off *)
 }
 
 (** Access outside mapped memory. *)
@@ -47,3 +49,28 @@ val heap_init : t -> stack_reserve:int -> unit
 val malloc : t -> int -> int64
 val free : t -> int64 -> int -> unit
 val alloc_stack : t -> int -> int64
+
+(** Allocator metadata captured alongside a snapshot image. *)
+type meta
+
+val meta : t -> meta
+
+(** Starts cumulative dirty-page tracking (copy-on-write-style capture):
+    every subsequent store marks its page, and the set is never cleared, so
+    each later {!journal_capture} is a self-contained delta against the
+    memory image at this call. *)
+val journal_start : t -> unit
+
+(** Copies of all pages dirtied since {!journal_start}, sorted by page. *)
+val journal_capture : t -> (int * Bytes.t) array
+
+(** Rebuilds a memory from a base image plus a page delta.  Dirty-page
+    tracking stays on in the clone so {!reimage} can later reuse it. *)
+val of_image : base:Bytes.t -> pages:(int * Bytes.t) array -> meta -> t
+
+(** [reimage m ~base ~pages mt] resets a memory previously built by
+    {!of_image} from the very same [base] (physical identity — the caller
+    checks) to a fresh base+delta state, reverting only the pages known
+    dirty instead of re-copying the whole image.  The cheap path behind
+    per-experiment machine reuse in fault campaigns. *)
+val reimage : t -> base:Bytes.t -> pages:(int * Bytes.t) array -> meta -> unit

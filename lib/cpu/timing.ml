@@ -32,6 +32,11 @@ let create () =
     rob_pos = 0;
   }
 
+(* Independent deep copy, for machine snapshots: the campaign fast-forward
+   resumes a core's clock mid-run, so the whole pipe state must travel. *)
+let copy (t : t) : t =
+  { t with port_free = Array.copy t.port_free; rob = Array.copy t.rob }
+
 let reset (t : t) =
   Array.fill t.port_free 0 Cost.nports 0;
   t.bus_free <- 0;

@@ -18,6 +18,10 @@ type t = {
 val width : int
 val rob_size : int
 val create : unit -> t
+
+(** Independent deep copy (for machine snapshots). *)
+val copy : t -> t
+
 val reset : t -> unit
 
 (** Current core clock. *)

@@ -194,8 +194,9 @@ type shared = {
    the disjointly-indexed output array and [shared] under its mutex.
    Returns the observations in batch order. *)
 let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
-    ~(max_instrs : int) ~(round : int) ~ck_tbl ~(checkpoint : string option)
-    ~(key : string) ~(shared : shared) ~(progress : (progress -> unit) option)
+    ~(snapshots : Cpu.Machine.snapshot array) ~(max_instrs : int) ~(round : int)
+    ~ck_tbl ~(checkpoint : string option) ~(key : string) ~(shared : shared)
+    ~(progress : (progress -> unit) option)
     (batch : (int * Fault.experiment) array) : Fault.obs array =
   let k = Array.length batch in
   let out = Array.make k None in
@@ -208,8 +209,12 @@ let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.resu
         let restored = Hashtbl.find_opt ck_tbl (round, slot) in
         let (o : Fault.obs) =
           match restored with
-          | Some o -> o
-          | None -> Fault.observe ~golden (Fault.run_experiment ~max_instrs spec e)
+          | Some o ->
+              o
+          | None ->
+              Fault.observe ~golden
+                (if snapshots = [||] then Fault.run_experiment ~max_instrs spec e
+                 else Fault.run_experiment_from ~max_instrs ~snapshots spec e)
         in
         out.(i) <- Some o;
         Mutex.lock shared.mutex;
@@ -262,9 +267,14 @@ let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.resu
     [Not_reached] experiments (drawn between rounds, on the calling
     domain, in plan-slot order — deterministic for any [jobs]); without it
     they are simply discarded.  [checkpoint] names a file used to persist
-    and resume partial campaigns. *)
-let run ?jobs ?progress ?checkpoint ?redraw ~(spec : Fault.run_spec)
-    ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : report =
+    and resume partial campaigns.  [snapshots] (a {!Fault.golden_capture}
+    array) enables snapshot fast-forward: each experiment resumes from the
+    latest golden snapshot preceding its injection site instead of
+    replaying the whole fault-free prefix — outcomes are bit-identical
+    either way. *)
+let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||])
+    ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
+    (exps : Fault.experiment array) : report =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let n = Array.length exps in
   let max_instrs = Fault.hang_budget ~golden spec in
@@ -292,8 +302,8 @@ let run ?jobs ?progress ?checkpoint ?redraw ~(spec : Fault.run_spec)
   while Array.length !pending > 0 do
     let batch = !pending in
     let results =
-      run_batch ~jobs ~spec ~golden ~max_instrs ~round:!round ~ck_tbl ~checkpoint ~key
-        ~shared ~progress batch
+      run_batch ~jobs ~spec ~golden ~snapshots ~max_instrs ~round:!round ~ck_tbl
+        ~checkpoint ~key ~shared ~progress batch
     in
     let next = ref [] in
     (* batch is in ascending plan-slot order (invariant below), so redraws
@@ -351,34 +361,40 @@ let plan ~(n : int) (draw : unit -> Fault.experiment) : Fault.experiment array =
   done;
   exps
 
+(* Golden run of a campaign: with fast-forward on, also capture the
+   snapshot chain every injection run will restore from. *)
+let campaign_golden ~(fast_forward : bool) (spec : Fault.run_spec) :
+    Cpu.Machine.result * Cpu.Machine.snapshot array =
+  if fast_forward then Fault.golden_capture spec else (Fault.golden spec, [||])
+
 (* A full campaign of [n] independent single-bit injections. *)
-let single ?(seed = 42) ?(n = 300) ?jobs ?progress ?checkpoint (spec : Fault.run_spec) :
-    report =
-  let g = Fault.golden spec in
+let single ?(seed = 42) ?(n = 300) ?jobs ?progress ?checkpoint ?(fast_forward = true)
+    (spec : Fault.run_spec) : report =
+  let g, snapshots = campaign_golden ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
   if sites = 0 then invalid_arg "Campaign.single: no hardened code to inject into";
   let rng = Random.State.make [| seed |] in
   let draw () = draw_single rng ~sites in
-  run ?jobs ?progress ?checkpoint ~redraw:draw ~spec ~golden:g (plan ~n draw)
+  run ?jobs ?progress ?checkpoint ~snapshots ~redraw:draw ~spec ~golden:g (plan ~n draw)
 
 (* Campaign of double-bit faults; [same_bit] flips the same bit in two
    different lanes (two replicas agreeing on a wrong value). *)
 let double ?(seed = 43) ?(n = 150) ?(same_bit = true) ?jobs ?progress ?checkpoint
-    (spec : Fault.run_spec) : report =
-  let g = Fault.golden spec in
+    ?(fast_forward = true) (spec : Fault.run_spec) : report =
+  let g, snapshots = campaign_golden ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
   if sites = 0 then invalid_arg "Campaign.double: no hardened code to inject into";
   let rng = Random.State.make [| seed |] in
   let draw () = draw_double ~same_bit rng ~sites in
-  run ?jobs ?progress ?checkpoint ~redraw:draw ~spec ~golden:g (plan ~n draw)
+  run ?jobs ?progress ?checkpoint ~snapshots ~redraw:draw ~spec ~golden:g (plan ~n draw)
 
 (* Campaign under a fault-model axis: reg (same as {!single}), mem, addr,
    cf, or mixed.  The site streams come from the golden run's counters;
    models whose stream is empty for this build (e.g. cf on a branch-free
    kernel) are rejected up front rather than silently degenerating. *)
 let model_campaign ?(seed = 44) ?(n = 300) ?jobs ?progress ?checkpoint
-    ~(model : Fault.model) (spec : Fault.run_spec) : report =
-  let g = Fault.golden spec in
+    ?(fast_forward = true) ~(model : Fault.model) (spec : Fault.run_spec) : report =
+  let g, snapshots = campaign_golden ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
   let mem_sites = g.Cpu.Machine.mem_sites in
   let branch_sites = g.Cpu.Machine.branch_sites in
@@ -394,7 +410,7 @@ let model_campaign ?(seed = 44) ?(n = 300) ?jobs ?progress ?checkpoint
         invalid_arg "Campaign.model_campaign: no hardened conditional branches");
   let rng = Random.State.make [| seed; Hashtbl.hash (Fault.model_to_string model) |] in
   let draw () = draw_model rng ~model ~sites ~mem_sites ~branch_sites in
-  run ?jobs ?progress ?checkpoint ~redraw:draw ~spec ~golden:g (plan ~n draw)
+  run ?jobs ?progress ?checkpoint ~snapshots ~redraw:draw ~spec ~golden:g (plan ~n draw)
 
 (* One-line observability summary for bench tables. *)
 let pp_totals fmt (r : report) =

@@ -71,26 +71,36 @@ type report = {
     - [redraw]: supplies replacement experiments for [Not_reached] runs;
       called between rounds on the calling domain in plan-slot order, so
       RNG-based redraws stay deterministic.  Without it, unreached
-      experiments are discarded. *)
+      experiments are discarded.
+    - [snapshots]: a {!Fault.golden_capture} snapshot chain enabling
+      fast-forward — each experiment restores the latest golden snapshot
+      preceding its injection site instead of replaying the fault-free
+      prefix.  Outcomes, and hence the report, are bit-identical with or
+      without it, for any worker count. *)
 val run :
   ?jobs:int ->
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
   ?redraw:(unit -> Fault.experiment) ->
+  ?snapshots:Cpu.Machine.snapshot array ->
   spec:Fault.run_spec ->
   golden:Cpu.Machine.result ->
   Fault.experiment array ->
   report
 
 (** [single ~seed ~n spec] — the paper's Fig. 13 campaign: [n] independent
-    single-bit injections.  @raise Invalid_argument if [spec] has no
-    hardened code to inject into. *)
+    single-bit injections.  [fast_forward] (default [true]) captures
+    snapshots during the golden run and starts every injection run from
+    the latest snapshot preceding its site; the report is bit-identical
+    either way.  @raise Invalid_argument if [spec] has no hardened code to
+    inject into. *)
 val single :
   ?seed:int ->
   ?n:int ->
   ?jobs:int ->
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
+  ?fast_forward:bool ->
   Fault.run_spec ->
   report
 
@@ -104,6 +114,7 @@ val double :
   ?jobs:int ->
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
+  ?fast_forward:bool ->
   Fault.run_spec ->
   report
 
@@ -121,6 +132,7 @@ val model_campaign :
   ?jobs:int ->
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
+  ?fast_forward:bool ->
   model:Fault.model ->
   Fault.run_spec ->
   report

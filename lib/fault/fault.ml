@@ -65,11 +65,13 @@ type run_spec = {
   init : Cpu.Machine.t -> unit;  (** host-side input preparation *)
   max_instrs : int;
   reexec_retries : int;  (** re-execution recovery budget of the build *)
+  engine : Cpu.Machine.engine_kind;  (** execution engine for every run *)
 }
 
 let make_spec ?(flags_cmp = false) ?(args = [||]) ?(init = fun _ -> ())
-    ?(max_instrs = 200_000_000) ?(reexec_retries = 0) modul entry =
-  { modul; flags_cmp; entry; args; init; max_instrs; reexec_retries }
+    ?(max_instrs = 200_000_000) ?(reexec_retries = 0)
+    ?(engine = Cpu.Machine.Closure) modul entry =
+  { modul; flags_cmp; entry; args; init; max_instrs; reexec_retries; engine }
 
 (* One pre-drawn experiment: flip [bit] of one lane of the destination of
    the [at]-th injection-eligible instruction, plus an optional second
@@ -94,16 +96,16 @@ let run_with (spec : run_spec) (cfg : Cpu.Machine.config) : Cpu.Machine.result =
    instructions (the "instruction trace" step of §IV-B) and the
    memory-access / conditional-branch site streams of the other fault
    kinds. *)
-let golden (spec : run_spec) : Cpu.Machine.result =
-  let cfg =
-    {
-      Cpu.Machine.default_config with
-      max_instrs = spec.max_instrs;
-      count_inject_sites = true;
-      reexec_retries = spec.reexec_retries;
-    }
-  in
-  let r = run_with spec cfg in
+let golden_cfg (spec : run_spec) : Cpu.Machine.config =
+  {
+    Cpu.Machine.default_config with
+    max_instrs = spec.max_instrs;
+    count_inject_sites = true;
+    reexec_retries = spec.reexec_retries;
+    engine = spec.engine;
+  }
+
+let check_golden (spec : run_spec) (r : Cpu.Machine.result) : Cpu.Machine.result =
   (match r.Cpu.Machine.trap with
   | Some t ->
       invalid_arg
@@ -111,6 +113,60 @@ let golden (spec : run_spec) : Cpu.Machine.result =
            (Cpu.Machine.string_of_trap t))
   | None -> ());
   r
+
+let golden (spec : run_spec) : Cpu.Machine.result =
+  check_golden spec (run_with spec (golden_cfg spec))
+
+(* Snapshots kept per golden run.  More snapshots cut more of each
+   injection run's replayed prefix but cost capture time and memory; with
+   geometric thinning the count stays in (max/2, max]. *)
+let max_snapshots = 24
+
+(* Dynamic instructions between captures, until thinning widens it. *)
+let initial_snapshot_spacing = 12_500
+
+(* Golden run that additionally captures machine snapshots at quantum
+   boundaries, spaced by dynamic instruction count.  When the count would
+   exceed [max_snapshots], every other snapshot is dropped and the spacing
+   doubles — sound because captures are cumulative deltas against the base
+   image (each one is self-contained), and cheap because dropped deltas
+   are just garbage-collected.  The returned array is oldest-first. *)
+let golden_capture (spec : run_spec) :
+    Cpu.Machine.result * Cpu.Machine.snapshot array =
+  let machine = Cpu.Machine.create ~cfg:(golden_cfg spec) ~flags_cmp:spec.flags_cmp spec.modul in
+  spec.init machine;
+  (* oldest-first throughout *)
+  let snaps = ref [] in
+  let nsnaps = ref 0 in
+  let spacing = ref initial_snapshot_spacing in
+  (* first capture at the very first quantum boundary: experiments whose
+     site falls before any later snapshot then still restore a pooled
+     memory instead of paying a from-scratch machine build *)
+  let next_at = ref 1 in
+  let on_quantum (m : Cpu.Machine.t) =
+    if m.Cpu.Machine.total_instrs >= !next_at then begin
+      snaps := !snaps @ [ Cpu.Machine.snapshot m ];
+      incr nsnaps;
+      if !nsnaps > max_snapshots then begin
+        (* keep even indices: the earliest snapshot must survive, it is
+           what spares early-site experiments a from-scratch machine *)
+        let keep = ref [] and i = ref 0 in
+        List.iter
+          (fun s ->
+            if !i land 1 = 0 then keep := s :: !keep;
+            incr i)
+          !snaps;
+        snaps := List.rev !keep;
+        nsnaps := List.length !snaps;
+        spacing := 2 * !spacing
+      end;
+      next_at := m.Cpu.Machine.total_instrs + !spacing
+    end
+  in
+  let r =
+    check_golden spec (Cpu.Machine.run ~args:spec.args ~on_quantum machine spec.entry)
+  in
+  (r, Array.of_list !snaps)
 
 (* Hang budget for injection runs, derived from the golden run: a faulty
    run that retires 20x the golden dynamic instruction count is not going
@@ -135,24 +191,61 @@ let classify ~(golden : Cpu.Machine.result) (r : Cpu.Machine.result) : outcome =
    callers can account simulated cycles as well as the outcome.
    [max_instrs] overrides the spec's budget (campaigns pass the golden-run
    derived {!hang_budget}). *)
+let experiment_cfg ?max_instrs (spec : run_spec) (e : experiment) : Cpu.Machine.config =
+  {
+    Cpu.Machine.default_config with
+    max_instrs = (match max_instrs with Some b -> b | None -> spec.max_instrs);
+    inject =
+      Some
+        {
+          Cpu.Machine.at = e.at;
+          lane = e.lane;
+          bit = e.bit;
+          second = e.second;
+          kind = e.kind;
+        };
+    reexec_retries = spec.reexec_retries;
+    engine = spec.engine;
+  }
+
 let run_experiment ?max_instrs (spec : run_spec) (e : experiment) : Cpu.Machine.result =
-  let cfg =
-    {
-      Cpu.Machine.default_config with
-      max_instrs = (match max_instrs with Some b -> b | None -> spec.max_instrs);
-      inject =
-        Some
-          {
-            Cpu.Machine.at = e.at;
-            lane = e.lane;
-            bit = e.bit;
-            second = e.second;
-            kind = e.kind;
-          };
-      reexec_retries = spec.reexec_retries;
-    }
-  in
-  run_with spec cfg
+  run_with spec (experiment_cfg ?max_instrs spec e)
+
+(* The site stream an experiment's [at] is drawn against. *)
+let site_stream (kind : Cpu.Machine.fault_kind) (sn : Cpu.Machine.snapshot) : int =
+  let inj, mem, br = Cpu.Machine.snapshot_sites sn in
+  match kind with
+  | Cpu.Machine.Reg_flip -> inj
+  | Cpu.Machine.Mem_flip | Cpu.Machine.Addr_flip -> mem
+  | Cpu.Machine.Branch_flip -> br
+
+(* Latest snapshot strictly before the experiment's injection site: the
+   [at]-th site fires when the kind's counter reaches [at], so any
+   snapshot whose counter is still below [at] precedes the injection.
+   [snapshots] is oldest-first; returns [None] when the site lies before
+   the first capture. *)
+let pick_snapshot (snapshots : Cpu.Machine.snapshot array) (e : experiment) :
+    Cpu.Machine.snapshot option =
+  let best = ref None in
+  Array.iter
+    (fun sn -> if site_stream e.kind sn < e.at then best := Some sn)
+    snapshots;
+  !best
+
+(* [run_experiment], fast-forwarded: instead of re-executing the whole
+   fault-free prefix, restore the latest golden snapshot preceding the
+   injection site and resume under the injecting config.  Snapshots carry
+   their site counters, so the pre-drawn plan stays valid and the outcome
+   is bit-identical to a from-scratch run (the prefix is deterministic). *)
+let run_experiment_from ?max_instrs ~(snapshots : Cpu.Machine.snapshot array)
+    (spec : run_spec) (e : experiment) : Cpu.Machine.result =
+  let cfg = experiment_cfg ?max_instrs spec e in
+  match pick_snapshot snapshots e with
+  | None -> run_with spec cfg
+  | Some sn ->
+      (* ~reuse is sound here: each worker runs one experiment at a time
+         and drops the machine before the next restore *)
+      Cpu.Machine.resume (Cpu.Machine.restore ~cfg ~reuse:true sn)
 
 (* One experiment: flip [bit] of one lane of the destination of the [at]-th
    injection-eligible instruction. *)

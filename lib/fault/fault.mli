@@ -44,6 +44,7 @@ type run_spec = {
   init : Cpu.Machine.t -> unit;  (** host-side input preparation *)
   max_instrs : int;
   reexec_retries : int;  (** re-execution recovery budget of the build *)
+  engine : Cpu.Machine.engine_kind;  (** execution engine for every run *)
 }
 
 val make_spec :
@@ -52,6 +53,7 @@ val make_spec :
   ?init:(Cpu.Machine.t -> unit) ->
   ?max_instrs:int ->
   ?reexec_retries:int ->
+  ?engine:Cpu.Machine.engine_kind ->
   Ir.Instr.modul ->
   string ->
   run_spec
@@ -74,6 +76,13 @@ type experiment = {
     @raise Invalid_argument if the reference run traps. *)
 val golden : run_spec -> Cpu.Machine.result
 
+(** {!golden}, additionally capturing machine snapshots along the run
+    (oldest-first), for campaign fast-forward via
+    {!run_experiment_from}.  Captures are spaced by dynamic instruction
+    count and geometrically thinned, so at most a couple dozen are kept
+    regardless of run length. *)
+val golden_capture : run_spec -> Cpu.Machine.result * Cpu.Machine.snapshot array
+
 (** Instruction budget for injection runs, derived from the golden run:
     [min spec.max_instrs (max 1_000_000 (20 * golden retired instrs))].
     Campaigns use this instead of the spec's (much larger) default budget
@@ -89,6 +98,20 @@ val classify : golden:Cpu.Machine.result -> Cpu.Machine.result -> outcome
     {!classify}; simulated cycles via [wall_cycles]).  [max_instrs]
     overrides the spec's budget — campaigns pass {!hang_budget}. *)
 val run_experiment : ?max_instrs:int -> run_spec -> experiment -> Cpu.Machine.result
+
+(** {!run_experiment}, fast-forwarded: restores the latest of [snapshots]
+    (a {!golden_capture} array) whose site-stream counter for the
+    experiment's fault kind is still below [at], and resumes from there
+    under the injecting config.  Bit-identical outcome to a from-scratch
+    {!run_experiment} — the skipped prefix is deterministic and fault-free
+    by construction.  Falls back to a full run when the site precedes the
+    first snapshot. *)
+val run_experiment_from :
+  ?max_instrs:int ->
+  snapshots:Cpu.Machine.snapshot array ->
+  run_spec ->
+  experiment ->
+  Cpu.Machine.result
 
 (** One experiment: flip [bit] of one lane of the destination of the
     [at]-th injection-eligible instruction. *)

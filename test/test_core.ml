@@ -5,6 +5,7 @@ let () =
       ("dataflow", Test_dataflow.tests);
       ("cpu", Test_cpu.tests);
       ("machine", Test_machine.tests);
+      ("engine", Test_engine.tests);
       ("concurrency", Test_concurrency.tests);
       ("passes", Test_passes.tests);
       ("optimize", Test_optimize.tests);

@@ -1,0 +1,177 @@
+(* Engine equivalence: the closure-compiled engine must be bit-identical
+   to the reference interpreter — same wall cycles, per-thread counters,
+   output bytes, traps and fault-site streams — across every workload and
+   build flavour, with and without an armed injection.  Also checks that
+   restoring a mid-run snapshot and resuming reproduces the straight run
+   exactly (the soundness condition behind campaign fast-forward). *)
+
+let builds =
+  [
+    Elzar.Native;
+    Elzar.Native_novec;
+    Elzar.Hardened Elzar.Harden_config.default;
+    Elzar.Swiftr;
+  ]
+
+let cfg_with engine = { Cpu.Machine.default_config with Cpu.Machine.engine }
+
+let check_result name (a : Cpu.Machine.result) (b : Cpu.Machine.result) =
+  let open Cpu.Machine in
+  Alcotest.(check int) (name ^ ": wall_cycles") a.wall_cycles b.wall_cycles;
+  Alcotest.(check string) (name ^ ": output") a.output_bytes b.output_bytes;
+  Alcotest.(check (option string))
+    (name ^ ": trap")
+    (Option.map string_of_trap a.trap)
+    (Option.map string_of_trap b.trap);
+  Alcotest.(check int) (name ^ ": inject_sites") a.inject_sites b.inject_sites;
+  Alcotest.(check int) (name ^ ": mem_sites") a.mem_sites b.mem_sites;
+  Alcotest.(check int) (name ^ ": branch_sites") a.branch_sites b.branch_sites;
+  Alcotest.(check int) (name ^ ": recovered") a.recovered_faults b.recovered_faults;
+  Alcotest.(check int) (name ^ ": reexecutions") a.reexecutions b.reexecutions;
+  Alcotest.(check bool) (name ^ ": injected") a.fault_injected b.fault_injected;
+  (* catch-all structural equality: counters lists, detect latency, ... *)
+  if a <> b then Alcotest.failf "%s: results differ structurally" name
+
+(* every workload, every build flavour: reference == closure *)
+let check_engines (w : Workloads.Workload.t) () =
+  List.iter
+    (fun b ->
+      let run engine =
+        Workloads.Workload.execute ~machine_cfg:(cfg_with engine) w ~build:b ~nthreads:2
+          ~size:Workloads.Workload.Tiny
+      in
+      check_result
+        (w.Workloads.Workload.name ^ "/" ^ Elzar.build_name b)
+        (run Cpu.Machine.Reference) (run Cpu.Machine.Closure))
+    builds
+
+(* armed injections: the per-kind site streams and fault hooks must fire
+   at the same instruction under both engines *)
+let check_inject_engines () =
+  let w = Workloads.Registry.find "hist" in
+  let harden = Elzar.Hardened Elzar.Harden_config.default in
+  List.iter
+    (fun (kind, at, reexec_retries) ->
+      let inject =
+        Some { Cpu.Machine.at; lane = 1; bit = 13; second = None; kind }
+      in
+      let run engine =
+        Workloads.Workload.execute
+          ~machine_cfg:
+            { Cpu.Machine.default_config with Cpu.Machine.engine; inject; reexec_retries }
+          w ~build:harden ~nthreads:2 ~size:Workloads.Workload.Tiny
+      in
+      check_result
+        (Printf.sprintf "inject %s@%d/r%d"
+           (Cpu.Machine.fault_kind_to_string kind)
+           at reexec_retries)
+        (run Cpu.Machine.Reference) (run Cpu.Machine.Closure))
+    [
+      (Cpu.Machine.Reg_flip, 5_000, 0);
+      (Cpu.Machine.Reg_flip, 50_000, 0);
+      (Cpu.Machine.Reg_flip, 20_000, 2);
+      (Cpu.Machine.Mem_flip, 2_000, 0);
+      (Cpu.Machine.Addr_flip, 3_000, 0);
+      (Cpu.Machine.Branch_flip, 1_000, 0);
+    ]
+
+(* the counting (site-census) runs must agree too *)
+let check_count_sites () =
+  let w = Workloads.Registry.find "linreg" in
+  let harden = Elzar.Hardened Elzar.Harden_config.default in
+  let run engine =
+    Workloads.Workload.execute
+      ~machine_cfg:
+        { Cpu.Machine.default_config with Cpu.Machine.engine; count_inject_sites = true }
+      w ~build:harden ~nthreads:2 ~size:Workloads.Workload.Tiny
+  in
+  check_result "count-sites" (run Cpu.Machine.Reference) (run Cpu.Machine.Closure)
+
+(* snapshot/restore: resuming from any mid-run snapshot must reproduce the
+   straight run bit-for-bit, under either engine *)
+let check_snapshot_resume engine () =
+  let w = Workloads.Registry.find "linreg" in
+  let harden = Elzar.Hardened Elzar.Harden_config.default in
+  let spec = Workloads.Workload.fi_spec w ~build:harden () in
+  let cfg =
+    {
+      Cpu.Machine.default_config with
+      Cpu.Machine.engine;
+      reexec_retries = spec.Fault.reexec_retries;
+    }
+  in
+  let make_machine () =
+    let m = Cpu.Machine.create ~cfg ~flags_cmp:spec.Fault.flags_cmp spec.Fault.modul in
+    spec.Fault.init m;
+    m
+  in
+  let snaps = ref [] in
+  let q = ref 0 in
+  let m = make_machine () in
+  let golden =
+    Cpu.Machine.run ~args:spec.Fault.args m spec.Fault.entry ~on_quantum:(fun mm ->
+        incr q;
+        if !q mod 40 = 0 then snaps := Cpu.Machine.snapshot mm :: !snaps)
+  in
+  if !snaps = [] then Alcotest.fail "no snapshots captured";
+  (* newest, oldest and a middle snapshot *)
+  let all = Array.of_list !snaps in
+  let picks = [ 0; Array.length all / 2; Array.length all - 1 ] in
+  List.iter
+    (fun i ->
+      let sn = all.(i) in
+      let r = Cpu.Machine.resume (Cpu.Machine.restore ~cfg sn) in
+      check_result
+        (Printf.sprintf "snapshot@%d" (Cpu.Machine.snapshot_instrs sn))
+        golden r)
+    (List.sort_uniq compare picks)
+
+(* campaign fast-forward: the full report (per-outcome stats and every
+   observation, including wall cycles and detection latencies) must be
+   bit-identical with fast-forward on or off, and for any worker count *)
+let check_campaign_fast_forward () =
+  let w = Workloads.Registry.find "linreg" in
+  let harden = Elzar.Hardened Elzar.Harden_config.default in
+  let spec = Workloads.Workload.fi_spec w ~build:harden () in
+  let base = Campaign.single ~seed:19 ~n:24 ~jobs:1 ~fast_forward:false spec in
+  List.iter
+    (fun jobs ->
+      let ff = Campaign.single ~seed:19 ~n:24 ~jobs ~fast_forward:true spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "ff jobs=%d: same stats" jobs)
+        true
+        (ff.Campaign.stats = base.Campaign.stats);
+      Alcotest.(check bool)
+        (Printf.sprintf "ff jobs=%d: same outcomes" jobs)
+        true
+        (ff.Campaign.outcomes = base.Campaign.outcomes))
+    [ 1; 2; 4 ];
+  (* and across fault models, whose sites draw on the mem/branch streams *)
+  List.iter
+    (fun model ->
+      let off = Campaign.model_campaign ~seed:23 ~n:8 ~jobs:1 ~fast_forward:false ~model spec in
+      let on = Campaign.model_campaign ~seed:23 ~n:8 ~jobs:2 ~fast_forward:true ~model spec in
+      Alcotest.(check bool)
+        (Fault.model_to_string model ^ ": ff report identical")
+        true
+        (off.Campaign.stats = on.Campaign.stats && off.Campaign.outcomes = on.Campaign.outcomes))
+    [ Fault.Mem; Fault.Addr; Fault.Cf; Fault.Mixed ]
+
+let workload_cases =
+  List.map
+    (fun w ->
+      Alcotest.test_case ("equiv " ^ w.Workloads.Workload.name) `Quick (check_engines w))
+    (Workloads.Registry.all @ Workloads.Registry.micro)
+
+let tests =
+  workload_cases
+  @ [
+      Alcotest.test_case "equiv under injection" `Quick check_inject_engines;
+      Alcotest.test_case "equiv site census" `Quick check_count_sites;
+      Alcotest.test_case "snapshot resume (closure)" `Quick
+        (check_snapshot_resume Cpu.Machine.Closure);
+      Alcotest.test_case "snapshot resume (reference)" `Quick
+        (check_snapshot_resume Cpu.Machine.Reference);
+      Alcotest.test_case "campaign fast-forward bit-identical" `Quick
+        check_campaign_fast_forward;
+    ]
