@@ -6,8 +6,8 @@
     not a change of experiment — and the bench fails loudly if they are
     not.
 
-    Emits BENCH_campaign.json recording both wall times and the speedup
-    per benchmark plus the geometric mean. *)
+    With [--json], emits BENCH_campaign.json recording both wall times and
+    the speedup per benchmark plus the geometric mean. *)
 
 let benchmarks = [ "hist"; "linreg" ]
 
@@ -17,6 +17,7 @@ type row = {
   r_optimized_s : float;
   r_speedup : float;
   r_runs : int;
+  r_report : Campaign.report;  (** the optimized campaign, for the JSON results block *)
 }
 
 let campaign (w : Workloads.Workload.t) ~(engine : Cpu.Machine.engine_kind)
@@ -44,23 +45,33 @@ let measure (name : string) : row =
     r_optimized_s = opt.Campaign.wall_seconds;
     r_speedup = base.Campaign.wall_seconds /. opt.Campaign.wall_seconds;
     r_runs = opt.Campaign.experiments_run;
+    r_report = opt;
   }
 
+(* Schema "elzar.bench.campaign".  Each row carries the optimized
+   campaign's deterministic results block, so CI diffs catch outcome
+   drift as well as wall-time regressions. *)
 let emit_json path (rows : row list) (g : float) =
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"injections\": %d,\n  \"jobs\": %d,\n  \"campaigns\": [\n"
-    !Common.fi_injections
-    (Common.fi_effective_jobs ());
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    {\"bench\": %S, \"runs\": %d, \"baseline_seconds\": %.3f, \
-         \"optimized_seconds\": %.3f, \"speedup\": %.2f, \"bit_identical\": true}%s\n"
-        r.r_bench r.r_runs r.r_baseline_s r.r_optimized_s r.r_speedup
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ],\n  \"gmean_speedup\": %.2f\n}\n" g;
-  close_out oc
+  let row_json r =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str r.r_bench);
+        ("runs", Obs.Json.Int r.r_runs);
+        ("baseline_seconds", Obs.Json.Float r.r_baseline_s);
+        ("optimized_seconds", Obs.Json.Float r.r_optimized_s);
+        ("speedup", Obs.Json.Float r.r_speedup);
+        ("bit_identical", Obs.Json.Bool true);
+        ("results", Report.campaign_results r.r_report);
+      ]
+  in
+  Report.write path
+    (Report.versioned ~schema:"elzar.bench.campaign"
+       [
+         ("injections", Obs.Json.Int !Common.fi_injections);
+         ("jobs", Obs.Json.Int (Common.fi_effective_jobs ()));
+         ("campaigns", Obs.Json.List (List.map row_json rows));
+         ("gmean_speedup", Obs.Json.Float g);
+       ])
 
 let run () =
   Common.heading
@@ -78,5 +89,7 @@ let run () =
     rows;
   let g = Common.gmean (List.map (fun r -> r.r_speedup) rows) in
   Printf.printf "%-10s %38s %7.2fx\n" "gmean" "" g;
-  emit_json "BENCH_campaign.json" rows g;
-  Printf.printf "wrote BENCH_campaign.json (reports bit-identical)\n"
+  if !Common.json_reports then begin
+    emit_json "BENCH_campaign.json" rows g;
+    Printf.printf "wrote BENCH_campaign.json (reports bit-identical)\n"
+  end

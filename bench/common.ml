@@ -12,6 +12,11 @@ let fi_jobs = ref 0
 (* Live progress meter for campaigns on stderr.  Set with --fi-progress. *)
 let fi_progress = ref false
 
+(* Write the machine-readable BENCH_*.json reports (interp, campaign).
+   Set with --json; the perf-smoke alias passes it so CI always tracks
+   them. *)
+let json_reports = ref false
+
 let fi_effective_jobs () = if !fi_jobs > 0 then !fi_jobs else Campaign.default_jobs ()
 
 let fi_progress_cb tag : (Campaign.progress -> unit) option =
@@ -21,11 +26,14 @@ let fi_progress_cb tag : (Campaign.progress -> unit) option =
       (fun (p : Campaign.progress) ->
         if p.Campaign.completed mod 10 = 0 || p.Campaign.completed = p.Campaign.total then
           Printf.eprintf
-            "\r%-24s %d/%d injections  (%.0fs elapsed, eta %.0fs, SDC %d, crashed %d)   %!"
+            "\r%-24s %d/%d injections  (%.0fs elapsed, eta %.0fs, SDC %d, crashed %d%s)   %!"
             tag p.Campaign.completed p.Campaign.total p.Campaign.elapsed p.Campaign.eta
             p.Campaign.running.Fault.sdc
             (p.Campaign.running.Fault.hang + p.Campaign.running.Fault.deadlock
-           + p.Campaign.running.Fault.os_detected);
+           + p.Campaign.running.Fault.os_detected)
+            (if p.Campaign.restored > 0 then
+               Printf.sprintf ", %d ckpt" p.Campaign.restored
+             else "");
         if p.Campaign.completed >= p.Campaign.total then prerr_newline ())
 
 (* Accumulates campaign observability totals for a figure's footer line. *)

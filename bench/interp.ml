@@ -4,8 +4,8 @@
     measure of the threaded-code tier's win (EXPERIMENTS.md §interp);
     campaign-level wall time is measured by [campaign_speed].
 
-    Emits BENCH_interp.json next to the working directory so CI can track
-    the MIPS of both tiers over time. *)
+    With [--json], emits BENCH_interp.json in the working directory so CI
+    can track the MIPS of both tiers over time. *)
 
 let benchmarks = [ "hist"; "linreg"; "km" ]
 let flavours = [ Common.native; Common.native_novec; Common.elzar; Common.swiftr ]
@@ -66,26 +66,29 @@ let measure (w : Workloads.Workload.t) (f : Common.flavour) ~(census : bool)
     s_mips = float_of_int instrs /. 1e6 /. dt;
   }
 
+(* The versioned document (schema "elzar.bench.interp") goes through the
+   same report pipeline as campaigns and CLI runs. *)
 let emit_json path (samples : sample list) (speedups : (string * float) list) =
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"size\": %S,\n  \"samples\": [\n"
-    (Workloads.Workload.size_to_string !Common.size);
-  List.iteri
-    (fun i s ->
-      Printf.fprintf oc
-        "    {\"bench\": %S, \"flavour\": %S, \"engine\": %S, \"mode\": %S, \
-         \"instrs\": %d, \"seconds\": %.4f, \"mips\": %.2f}%s\n"
-        s.s_bench s.s_flavour s.s_engine s.s_mode s.s_instrs s.s_seconds s.s_mips
-        (if i = List.length samples - 1 then "" else ","))
-    samples;
-  Printf.fprintf oc "  ],\n  \"closure_speedup\": {\n";
-  List.iteri
-    (fun i (tag, x) ->
-      Printf.fprintf oc "    %S: %.2f%s\n" tag x
-        (if i = List.length speedups - 1 then "" else ","))
-    speedups;
-  Printf.fprintf oc "  }\n}\n";
-  close_out oc
+  let sample_json s =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str s.s_bench);
+        ("flavour", Obs.Json.Str s.s_flavour);
+        ("engine", Obs.Json.Str s.s_engine);
+        ("mode", Obs.Json.Str s.s_mode);
+        ("instrs", Obs.Json.Int s.s_instrs);
+        ("seconds", Obs.Json.Float s.s_seconds);
+        ("mips", Obs.Json.Float s.s_mips);
+      ]
+  in
+  Report.write path
+    (Report.versioned ~schema:"elzar.bench.interp"
+       [
+         ("size", Obs.Json.Str (Workloads.Workload.size_to_string !Common.size));
+         ("samples", Obs.Json.List (List.map sample_json samples));
+         ( "closure_speedup",
+           Obs.Json.Obj (List.map (fun (tag, x) -> (tag, Obs.Json.Float x)) speedups) );
+       ])
 
 let run () =
   Common.heading "Interpreter MIPS: reference interpreter vs closure engine";
@@ -117,5 +120,7 @@ let run () =
   List.iter
     (fun (tag, x) -> Printf.printf "%-25s gmean closure speedup %.2fx\n" tag x)
     !speedups;
-  emit_json "BENCH_interp.json" !samples !speedups;
-  Printf.printf "wrote BENCH_interp.json\n"
+  if !Common.json_reports then begin
+    emit_json "BENCH_interp.json" !samples !speedups;
+    Printf.printf "wrote BENCH_interp.json\n"
+  end

@@ -2,7 +2,7 @@
     evaluation (DESIGN.md section 4 maps each to its module).
 
     Usage: bench/main.exe [experiments...] [--size S] [--injections N]
-    [--fi-jobs J] [--fi-progress]
+    [--fi-jobs J] [--fi-progress] [--json]
     With no arguments, runs everything. *)
 
 let experiments =
@@ -30,7 +30,7 @@ let experiments =
 let usage () =
   Printf.printf
     "usage: main.exe [%s] [--size tiny|small|medium|large] [--injections N] [--fi-jobs J] \
-     [--fi-progress]\n"
+     [--fi-progress] [--json]\n"
     (String.concat "|" (List.map fst experiments));
   exit 1
 
@@ -56,6 +56,9 @@ let () =
         parse rest
     | "--fi-progress" :: rest ->
         Common.fi_progress := true;
+        parse rest
+    | "--json" :: rest ->
+        Common.json_reports := true;
         parse rest
     | name :: rest when List.mem_assoc name experiments ->
         selected := name :: !selected;

@@ -63,9 +63,11 @@ let list_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run name build nthreads size =
+  let run name build nthreads size profile json =
     let w = Workloads.Registry.find name in
-    let r = Workloads.Workload.execute w ~build ~nthreads ~size in
+    let prof = if profile then Some (Cpu.Profile.create ()) else None in
+    let machine_cfg = { Cpu.Machine.default_config with Cpu.Machine.profile = prof } in
+    let r = Workloads.Workload.execute ~machine_cfg w ~build ~nthreads ~size in
     (match r.Cpu.Machine.trap with
     | Some t -> Printf.printf "trap: %s\n" (Cpu.Machine.string_of_trap t)
     | None -> ());
@@ -77,18 +79,44 @@ let run_cmd =
       c.Cpu.Counters.stores (Cpu.Counters.l1_miss_pct c);
     Printf.printf "branches     %d (miss %.2f%%)\n" c.Cpu.Counters.branches
       (Cpu.Counters.branch_miss_pct c);
-    Printf.printf "output       %s\n" (Digest.to_hex r.Cpu.Machine.output_digest)
+    Printf.printf "output       %s\n" (Digest.to_hex r.Cpu.Machine.output_digest);
+    (match prof with Some p -> Format.printf "%a" Cpu.Profile.pp p | None -> ());
+    match json with
+    | Some path ->
+        let params =
+          [
+            ("workload", Obs.Json.Str name);
+            ("build", Obs.Json.Str (Elzar.build_name build));
+            ("threads", Obs.Json.Int nthreads);
+            ("size", Obs.Json.Str (Workloads.Workload.size_to_string size));
+          ]
+        in
+        Report.write path (Report.run_result ~params ?profile:prof r);
+        Printf.printf "wrote %s\n" path
+    | None -> ()
   in
   let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Attribute simulated cycles per instruction class (closure engine \
+                   only) and print the table.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the run report (counters, output digest, optional profile) to \
+                   $(docv) as versioned JSON.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on the simulated machine")
-    Term.(const run $ name_arg $ build_arg $ threads_arg $ size_arg)
+    Term.(const run $ name_arg $ build_arg $ threads_arg $ size_arg $ profile $ json)
 
 (* ---- inject ---- *)
 
 let inject_cmd =
   let run name build n seed jobs double same_bit model avf checkpoint quiet
-      reference_engine no_fast_forward =
+      reference_engine no_fast_forward json =
     let w = Workloads.Registry.find name in
     let spec = Workloads.Workload.fi_spec w ~build () in
     let spec =
@@ -103,8 +131,11 @@ let inject_cmd =
           (fun (p : Campaign.progress) ->
             if p.Campaign.completed mod 10 = 0 || p.Campaign.completed >= p.Campaign.total
             then
-              Printf.eprintf "\r%d/%d injections (%.0fs elapsed, eta %.0fs)   %!"
-                p.Campaign.completed p.Campaign.total p.Campaign.elapsed p.Campaign.eta;
+              Printf.eprintf "\r%d/%d injections (%.0fs elapsed, eta %.0fs%s)   %!"
+                p.Campaign.completed p.Campaign.total p.Campaign.elapsed p.Campaign.eta
+                (if p.Campaign.restored > 0 then
+                   Printf.sprintf ", %d from checkpoint" p.Campaign.restored
+                 else "");
             if p.Campaign.completed >= p.Campaign.total then prerr_newline ())
     in
     let model = Fault.model_of_string model in
@@ -125,7 +156,25 @@ let inject_cmd =
     | Some l -> Format.printf "mean detection latency: %.0f instrs@." l
     | None -> ());
     if avf then Format.printf "%a" Fault.pp_avf (Fault.avf_table obs);
-    Format.printf "%a@." Campaign.pp_totals report
+    Format.printf "%a@." Campaign.pp_totals report;
+    match json with
+    | Some path ->
+        let params =
+          [
+            ("workload", Obs.Json.Str name);
+            ("build", Obs.Json.Str (Elzar.build_name build));
+            ("n", Obs.Json.Int n);
+            ("seed", Obs.Json.Int seed);
+            ("double", Obs.Json.Bool double);
+            ("fault_model", Obs.Json.Str (Fault.model_to_string model));
+            ( "engine",
+              Obs.Json.Str (if reference_engine then "reference" else "closure") );
+            ("fast_forward", Obs.Json.Bool fast_forward);
+          ]
+        in
+        Report.write path (Report.campaign ~params report);
+        Printf.printf "wrote %s\n" path
+    | None -> ()
   in
   let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
   let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of injections.") in
@@ -176,10 +225,17 @@ let inject_cmd =
              ~doc:"Disable snapshot fast-forward: every injection run replays the whole \
                    fault-free prefix. Results are bit-identical; only wall time differs.")
   in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the campaign report (outcome histogram, AVF table, latency \
+                   histogram, phase spans) to $(docv) as versioned JSON. The result \
+                   sections are bit-identical for any --jobs value.")
+  in
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(const run $ name_arg $ build_arg $ n $ seed $ jobs $ double $ same_bit $ model
-          $ avf $ checkpoint $ quiet $ reference_engine $ no_fast_forward)
+          $ avf $ checkpoint $ quiet $ reference_engine $ no_fast_forward $ json)
 
 (* ---- show ---- *)
 

@@ -149,6 +149,9 @@ type config = {
       (** per-instruction execution trace (requires [debug] compilation);
           capped at ~1 MB — the Intel SDE debugtrace analogue of §IV-B *)
   engine : engine_kind;
+  profile : Profile.t option;
+      (** per-instruction-class cycle attribution (closure engine only);
+          [None] compiles no hook into the closures at all *)
 }
 
 let default_config =
@@ -160,6 +163,7 @@ let default_config =
     reexec_retries = 0;
     trace = None;
     engine = Closure;
+    profile = None;
   }
 
 type t = {
@@ -1770,7 +1774,7 @@ let compile_item (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem) :
     | _ -> None
   in
   let max_instrs = cfg.max_instrs in
-  fun th fr ->
+  let exec th fr =
     (match trace_hook with None -> () | Some h -> h th);
     m.total_instrs <- m.total_instrs + 1;
     if m.total_instrs > max_instrs then raise (Trap Hang);
@@ -1787,6 +1791,17 @@ let compile_item (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem) :
     | Some h ->
         let r = body th fr (ready_of fr) in
         h fr;
+        r
+  in
+  (* per-class cycle attribution, like the other hooks compiled in only
+     when enabled: with [profile = None] the closure is [exec] itself *)
+  match cfg.profile with
+  | None -> exec
+  | Some prof ->
+      fun th fr ->
+        let c0 = Timing.cycle th.timing in
+        let r = exec th fr in
+        Profile.add prof cls ~cycles:(Timing.cycle th.timing - c0);
         r
 
 (* Builds the closure table for every function: [kcode.(cf_id).(pc)] runs

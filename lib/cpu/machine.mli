@@ -130,6 +130,13 @@ type config = {
       (** per-instruction execution trace, capped at ~1 MB (the Intel SDE
           debugtrace analogue of §IV-B) *)
   engine : engine_kind;
+  profile : Profile.t option;
+      (** opt-in per-instruction-class cycle attribution, keyed by the
+          same class strings the AVF table uses.  [Some tbl] compiles a
+          cycle-delta hook into every closure; [None] (the default)
+          compiles nothing — the closures are identical to an unprofiled
+          build, so the off state costs zero.  Only the [Closure] engine
+          attributes; [Reference] ignores the table. *)
 }
 
 val default_config : config

@@ -1,0 +1,39 @@
+(** Per-instruction-class cycle attribution table (see profile.mli). *)
+
+type cell = { mutable p_instrs : int; mutable p_cycles : int }
+
+type t = (string, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add (t : t) (cls : string) ~(cycles : int) : unit =
+  let c =
+    match Hashtbl.find_opt t cls with
+    | Some c -> c
+    | None ->
+        let c = { p_instrs = 0; p_cycles = 0 } in
+        Hashtbl.replace t cls c;
+        c
+  in
+  c.p_instrs <- c.p_instrs + 1;
+  c.p_cycles <- c.p_cycles + max 0 cycles
+
+let rows (t : t) : (string * int * int) list =
+  let all = Hashtbl.fold (fun k c acc -> (k, c.p_instrs, c.p_cycles) :: acc) t [] in
+  List.sort
+    (fun (ka, _, ca) (kb, _, cb) ->
+      if ca <> cb then compare cb ca else compare ka kb)
+    all
+
+let total (t : t) : int * int =
+  Hashtbl.fold (fun _ c (i, cy) -> (i + c.p_instrs, cy + c.p_cycles)) t (0, 0)
+
+let pp fmt (t : t) =
+  let ti, tc = total t in
+  Format.fprintf fmt "%-8s %12s %12s %8s@." "class" "instrs" "cycles" "cyc/in";
+  List.iter
+    (fun (cls, instrs, cycles) ->
+      Format.fprintf fmt "%-8s %12d %12d %8.2f@." cls instrs cycles
+        (float_of_int cycles /. float_of_int (max 1 instrs)))
+    (rows t);
+  Format.fprintf fmt "%-8s %12d %12d@." "total" ti tc

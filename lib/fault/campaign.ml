@@ -99,6 +99,7 @@ let draw_model (rng : Random.State.t) ~(model : Fault.model) ~(sites : int)
 type progress = {
   completed : int;  (** experiments finished, including redraws *)
   total : int;  (** experiments currently planned, including redraws *)
+  restored : int;  (** completed experiments replayed from a checkpoint *)
   elapsed : float;  (** seconds since the campaign started *)
   eta : float;  (** estimated seconds to completion *)
   running : Fault.stats;  (** per-outcome running counters *)
@@ -112,8 +113,10 @@ type report = {
   wall_seconds : float;
   cycles_simulated : int;  (** simulated cycles over all injection runs *)
   experiments_run : int;  (** injection runs executed, including redraws *)
+  restored : int;  (** experiments replayed from the checkpoint *)
   not_reached : int;  (** runs discarded because the site was not reached *)
   jobs : int;
+  spans : Obs.Span.row list;  (** where the campaign's wall time went *)
 }
 
 (* ---- checkpointing ---- *)
@@ -121,14 +124,14 @@ type report = {
 (* A checkpoint is the map (redraw round, plan slot) -> observation of
    every completed experiment, keyed by a digest of the plan + golden run
    so a stale file for a different campaign can never be resumed.  The
-   magic line guards the unsafe [Marshal.from_channel] against files in
-   older formats (or other files altogether). *)
-type ck_state = {
-  ck_key : string;
-  ck_done : ((int * int) * Fault.obs) list;
-}
+   format is append-friendly: a magic line, the key, then one marshalled
+   record per completed experiment — a save appends only the records since
+   the previous one (O(total) bytes over a whole campaign instead of
+   O(total²)) and a crash mid-append costs at most the truncated tail
+   record.  The magic line guards the unsafe [Marshal.from_channel]
+   against files in older formats (or other files altogether). *)
 
-let ck_magic = "ELZCK2\n"
+let ck_magic = "ELZCK3\n"
 
 let ck_key ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : string =
   Digest.to_hex
@@ -141,8 +144,14 @@ let ck_key ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : stri
             golden.Cpu.Machine.branch_sites )
           []))
 
-let ck_load (path : string) ~(key : string) : ((int * int), Fault.obs) Hashtbl.t =
+(* Loads a checkpoint: the restored observations plus, when the header is
+   valid for this campaign, the byte offset just past the last complete
+   record — the writer truncates there and appends, so a tail truncated by
+   a crash can never corrupt a later resume. *)
+let ck_load (path : string) ~(key : string) :
+    ((int * int), Fault.obs) Hashtbl.t * int option =
   let tbl = Hashtbl.create 64 in
+  let resume_at = ref None in
   (if Sys.file_exists path then
      try
        let ic = open_in_bin path in
@@ -151,26 +160,98 @@ let ck_load (path : string) ~(key : string) : ((int * int), Fault.obs) Hashtbl.t
          (fun () ->
            let magic = really_input_string ic (String.length ck_magic) in
            if magic <> ck_magic then failwith "bad magic";
-           let st : ck_state = Marshal.from_channel ic in
-           if st.ck_key = key then
-             List.iter (fun (k, v) -> Hashtbl.replace tbl k v) st.ck_done)
+           let k = really_input_string ic (String.length key + 1) in
+           if k <> key ^ "\n" then failwith "stale key";
+           resume_at := Some (pos_in ic);
+           (* replay records until EOF; a partial tail record (crash
+              mid-append) just ends the replay, keeping everything before *)
+           try
+             while true do
+               let ((k : int * int), (v : Fault.obs)) = Marshal.from_channel ic in
+               Hashtbl.replace tbl k v;
+               resume_at := Some (pos_in ic)
+             done
+           with _ -> ())
      with _ ->
-       (* unreadable/corrupt checkpoint: say so once and start over *)
-       Printf.eprintf "campaign: checkpoint %s unreadable or stale, restarting campaign\n%!"
-         path);
-  tbl
+       if !resume_at = None then
+         (* unreadable/corrupt/stale checkpoint: say so once and start over *)
+         Printf.eprintf
+           "campaign: checkpoint %s unreadable or stale, restarting campaign\n%!" path);
+  (tbl, !resume_at)
 
-(* Write-to-temp, flush+fsync, then atomic rename: a crash mid-write can
-   never leave a truncated file under the checkpoint's real name. *)
-let ck_save (path : string) ~(key : string) done_ =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc ck_magic;
-  Marshal.to_channel oc { ck_key = key; ck_done = done_ } [];
-  flush oc;
-  Unix.fsync (Unix.descr_of_out_channel oc);
-  close_out oc;
-  Sys.rename tmp path
+(* The writer owns the checkpoint channel for the whole campaign.  Its
+   mutex serializes appends among workers without touching the campaign
+   lock; a failed write warns once on stderr and disables checkpointing
+   for the rest of the campaign instead of failing silently. *)
+type ck_writer = {
+  w_path : string;
+  w_io : Mutex.t;
+  mutable w_oc : out_channel option;
+  mutable w_warned : bool;
+}
+
+let ck_warn (w : ck_writer) (msg : string) =
+  if not w.w_warned then begin
+    w.w_warned <- true;
+    Printf.eprintf
+      "campaign: checkpoint %s not written (%s), continuing without checkpointing\n%!"
+      w.w_path msg
+  end
+
+let ck_open (path : string) ~(key : string) (resume_at : int option) : ck_writer =
+  let w = { w_path = path; w_io = Mutex.create (); w_oc = None; w_warned = false } in
+  (try
+     match resume_at with
+     | Some pos ->
+         (* resuming: drop any truncated tail record, then append *)
+         let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+         Fun.protect
+           ~finally:(fun () -> Unix.close fd)
+           (fun () -> Unix.ftruncate fd pos);
+         w.w_oc <- Some (open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path)
+     | None ->
+         let oc =
+           open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path
+         in
+         output_string oc ck_magic;
+         output_string oc (key ^ "\n");
+         flush oc;
+         w.w_oc <- Some oc
+   with
+  | Sys_error msg -> ck_warn w msg
+  | Unix.Unix_error (e, _, _) -> ck_warn w (Unix.error_message e));
+  w
+
+(* Appends a batch of records ([recs] is newest-first) and makes them
+   durable.  Runs outside the campaign mutex: only appenders contend on
+   [w_io], workers keep claiming experiments meanwhile. *)
+let ck_append (w : ck_writer) ~(spans : Obs.Span.t)
+    (recs : ((int * int) * Fault.obs) list) : unit =
+  Mutex.protect w.w_io (fun () ->
+      match w.w_oc with
+      | None -> ()
+      | Some oc -> (
+          try
+            Obs.Span.time spans "exec/checkpoint" (fun () ->
+                List.iter
+                  (fun (r : (int * int) * Fault.obs) -> Marshal.to_channel oc r [])
+                  (List.rev recs);
+                flush oc;
+                Unix.fsync (Unix.descr_of_out_channel oc))
+          with
+          | Sys_error msg ->
+              close_out_noerr oc;
+              w.w_oc <- None;
+              ck_warn w msg
+          | Unix.Unix_error (e, _, _) ->
+              close_out_noerr oc;
+              w.w_oc <- None;
+              ck_warn w (Unix.error_message e)))
+
+let ck_close (w : ck_writer) : unit =
+  Mutex.protect w.w_io (fun () ->
+      (match w.w_oc with Some oc -> close_out_noerr oc | None -> ());
+      w.w_oc <- None)
 
 (* ---- the engine ---- *)
 
@@ -184,7 +265,9 @@ type shared = {
   mutable nreach : int;
   mutable cycles : int;
   mutable executed : int;  (** completed minus checkpoint-restored *)
-  mutable ck_done : ((int * int) * Fault.obs) list;
+  mutable restored : int;  (** completed experiments replayed from the checkpoint *)
+  mutable ck_pending : ((int * int) * Fault.obs) list;
+      (** observations since the last checkpoint append, newest first *)
   mutable since_save : int;
 }
 
@@ -195,7 +278,7 @@ type shared = {
    Returns the observations in batch order. *)
 let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
     ~(snapshots : Cpu.Machine.snapshot array) ~(max_instrs : int) ~(round : int)
-    ~ck_tbl ~(checkpoint : string option) ~(key : string) ~(shared : shared)
+    ~ck_tbl ~(writer : ck_writer option) ~(spans : Obs.Span.t) ~(shared : shared)
     ~(progress : (progress -> unit) option)
     (batch : (int * Fault.experiment) array) : Fault.obs array =
   let k = Array.length batch in
@@ -214,45 +297,64 @@ let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.resu
           | None ->
               Fault.observe ~golden
                 (if snapshots = [||] then Fault.run_experiment ~max_instrs spec e
-                 else Fault.run_experiment_from ~max_instrs ~snapshots spec e)
+                 else Fault.run_experiment_from ~max_instrs ~snapshots ~spans spec e)
         in
         out.(i) <- Some o;
         Mutex.lock shared.mutex;
         shared.completed <- shared.completed + 1;
         shared.cycles <- shared.cycles + o.Fault.o_cycles;
-        if restored = None then shared.executed <- shared.executed + 1;
+        if restored = None then shared.executed <- shared.executed + 1
+        else shared.restored <- shared.restored + 1;
         (match o.Fault.o_outcome with
         | Fault.Not_reached -> shared.nreach <- shared.nreach + 1
         | oc -> shared.running <- Fault.add_outcome shared.running oc);
-        shared.ck_done <- ((round, slot), o) :: shared.ck_done;
-        shared.since_save <- shared.since_save + 1;
-        let save_now = checkpoint <> None && shared.since_save >= save_every in
-        if save_now then shared.since_save <- 0;
-        let done_ = shared.ck_done in
+        (* restored observations are already in the file; only fresh ones
+           queue for the next append *)
+        let flush_recs =
+          match writer with
+          | Some _ when restored = None ->
+              shared.ck_pending <- ((round, slot), o) :: shared.ck_pending;
+              shared.since_save <- shared.since_save + 1;
+              if shared.since_save >= save_every then begin
+                shared.since_save <- 0;
+                let recs = shared.ck_pending in
+                shared.ck_pending <- [];
+                Some recs
+              end
+              else None
+          | _ -> None
+        in
         let snap =
           match progress with
           | None -> None
           | Some _ ->
               let elapsed = Unix.gettimeofday () -. shared.t0 in
-              let per = elapsed /. float_of_int (max 1 shared.completed) in
+              (* rate over actually-executed runs only: checkpoint-restored
+                 experiments complete instantly, and folding them into the
+                 rate made a resumed campaign's ETA wildly optimistic *)
+              let per = elapsed /. float_of_int (max 1 shared.executed) in
               Some
                 {
                   completed = shared.completed;
                   total = shared.total;
+                  restored = shared.restored;
                   elapsed;
                   eta = per *. float_of_int (max 0 (shared.total - shared.completed));
                   running = shared.running;
                   not_reached = shared.nreach;
                 }
         in
-        (* checkpoint write and progress callback stay inside the critical
-           section: both must see a consistent snapshot, and serializing
-           the callback spares callers any locking of their own *)
-        (match (save_now, checkpoint) with
-        | true, Some path -> ( try ck_save path ~key done_ with Sys_error _ -> ())
-        | _ -> ());
+        (* the progress callback stays inside the critical section: it must
+           see a consistent snapshot, and serializing it spares callers any
+           locking of their own *)
         (match (progress, snap) with Some f, Some p -> f p | _ -> ());
         Mutex.unlock shared.mutex;
+        (* checkpoint I/O happens OUTSIDE the campaign mutex: the fsync
+           only blocks other appenders (on the writer's own lock), not
+           every worker trying to record a result *)
+        (match (flush_recs, writer) with
+        | Some recs, Some w -> ck_append w ~spans recs
+        | _ -> ());
         loop ()
       end
     in
@@ -272,16 +374,14 @@ let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.resu
     latest golden snapshot preceding its injection site instead of
     replaying the whole fault-free prefix — outcomes are bit-identical
     either way. *)
-let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||])
+let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||]) ?recorder
     ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
     (exps : Fault.experiment array) : report =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let n = Array.length exps in
   let max_instrs = Fault.hang_budget ~golden spec in
   let key = ck_key ~golden exps in
-  let ck_tbl =
-    match checkpoint with Some path -> ck_load path ~key | None -> Hashtbl.create 1
-  in
+  let spans = match recorder with Some r -> r | None -> Obs.Span.make () in
   let shared =
     {
       mutex = Mutex.create ();
@@ -292,46 +392,65 @@ let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||])
       nreach = 0;
       cycles = 0;
       executed = 0;
-      ck_done = [];
+      restored = 0;
+      ck_pending = [];
       since_save = 0;
     }
   in
-  let final = Array.make n None in
-  let pending = ref (Array.mapi (fun i e -> (i, e)) exps) in
-  let round = ref 0 in
-  while Array.length !pending > 0 do
-    let batch = !pending in
-    let results =
-      run_batch ~jobs ~spec ~golden ~snapshots ~max_instrs ~round:!round ~ck_tbl
-        ~checkpoint ~key ~shared ~progress batch
-    in
-    let next = ref [] in
-    (* batch is in ascending plan-slot order (invariant below), so redraws
-       happen in slot order: the RNG consumption is reproducible *)
-    Array.iteri
-      (fun i (o : Fault.obs) ->
-        let slot, e = batch.(i) in
-        match o.Fault.o_outcome with
-        | Fault.Not_reached ->
-            if !round < max_rounds - 1 then begin
-              match redraw with
-              | Some d -> next := (slot, d ()) :: !next
-              | None -> ()
-            end
-        | _ -> final.(slot) <- Some (e, o))
-      results;
-    pending := Array.of_list (List.rev !next);
-    if !pending <> [||] then
-      Mutex.protect shared.mutex (fun () ->
-          shared.total <- shared.total + Array.length !pending);
-    incr round
-  done;
+  (* the whole batch-execution phase — including checkpoint load/replay
+     and the final fold — runs under the "exec" span *)
+  let outcomes =
+    Obs.Span.time spans "exec" (fun () ->
+        let ck_tbl, resume_at =
+          match checkpoint with
+          | Some path -> ck_load path ~key
+          | None -> (Hashtbl.create 1, None)
+        in
+        let writer =
+          Option.map (fun path -> ck_open path ~key resume_at) checkpoint
+        in
+        (* an interrupted campaign must keep its checkpoint (that is the
+           point of having one), but not a dangling open channel *)
+        Fun.protect
+          ~finally:(fun () -> Option.iter ck_close writer)
+          (fun () ->
+            let final = Array.make n None in
+            let pending = ref (Array.mapi (fun i e -> (i, e)) exps) in
+            let round = ref 0 in
+            while Array.length !pending > 0 do
+              let batch = !pending in
+              let results =
+                run_batch ~jobs ~spec ~golden ~snapshots ~max_instrs ~round:!round
+                  ~ck_tbl ~writer ~spans ~shared ~progress batch
+              in
+              let next = ref [] in
+              (* batch is in ascending plan-slot order (invariant below), so
+                 redraws happen in slot order: the RNG consumption is
+                 reproducible *)
+              Array.iteri
+                (fun i (o : Fault.obs) ->
+                  let slot, e = batch.(i) in
+                  match o.Fault.o_outcome with
+                  | Fault.Not_reached ->
+                      if !round < max_rounds - 1 then begin
+                        match redraw with
+                        | Some d -> next := (slot, d ()) :: !next
+                        | None -> ()
+                      end
+                  | _ -> final.(slot) <- Some (e, o))
+                results;
+              pending := Array.of_list (List.rev !next);
+              if !pending <> [||] then
+                Mutex.protect shared.mutex (fun () ->
+                    shared.total <- shared.total + Array.length !pending);
+              incr round
+            done;
+            Array.of_list (List.filter_map (fun x -> x) (Array.to_list final))))
+  in
   (match checkpoint with
   | Some path -> if Sys.file_exists path then ( try Sys.remove path with Sys_error _ -> ())
   | None -> ());
-  let outcomes =
-    Array.of_list (List.filter_map (fun x -> x) (Array.to_list final))
-  in
+  Obs.Span.add_cycles spans "exec" shared.cycles;
   let stats =
     Array.fold_left
       (fun s (_, o) -> Fault.add_outcome s o.Fault.o_outcome)
@@ -343,8 +462,10 @@ let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||])
     wall_seconds = Unix.gettimeofday () -. shared.t0;
     cycles_simulated = shared.cycles;
     experiments_run = shared.executed;
+    restored = shared.restored;
     not_reached = shared.nreach;
     jobs;
+    spans = Obs.Span.rows spans;
   }
 
 (* ---- whole campaigns (the paper's Fig. 13 / §III-C experiments) ---- *)
@@ -362,31 +483,46 @@ let plan ~(n : int) (draw : unit -> Fault.experiment) : Fault.experiment array =
   exps
 
 (* Golden run of a campaign: with fast-forward on, also capture the
-   snapshot chain every injection run will restore from. *)
-let campaign_golden ~(fast_forward : bool) (spec : Fault.run_spec) :
+   snapshot chain every injection run will restore from.  Timed under the
+   "golden" span (snapshot captures additionally under "golden/snapshot"),
+   with the golden run's simulated cycles attributed to it. *)
+let campaign_golden ?spans ~(fast_forward : bool) (spec : Fault.run_spec) :
     Cpu.Machine.result * Cpu.Machine.snapshot array =
-  if fast_forward then Fault.golden_capture spec else (Fault.golden spec, [||])
+  let timed f = match spans with None -> f () | Some r -> Obs.Span.time r "golden" f in
+  let g, snapshots =
+    timed (fun () ->
+        if fast_forward then Fault.golden_capture ?spans spec
+        else (Fault.golden spec, [||]))
+  in
+  (match spans with
+  | Some r -> Obs.Span.add_cycles r "golden" g.Cpu.Machine.wall_cycles
+  | None -> ());
+  (g, snapshots)
 
 (* A full campaign of [n] independent single-bit injections. *)
 let single ?(seed = 42) ?(n = 300) ?jobs ?progress ?checkpoint ?(fast_forward = true)
     (spec : Fault.run_spec) : report =
-  let g, snapshots = campaign_golden ~fast_forward spec in
+  let recorder = Obs.Span.make () in
+  let g, snapshots = campaign_golden ~spans:recorder ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
   if sites = 0 then invalid_arg "Campaign.single: no hardened code to inject into";
   let rng = Random.State.make [| seed |] in
   let draw () = draw_single rng ~sites in
-  run ?jobs ?progress ?checkpoint ~snapshots ~redraw:draw ~spec ~golden:g (plan ~n draw)
+  let exps = Obs.Span.time recorder "plan" (fun () -> plan ~n draw) in
+  run ?jobs ?progress ?checkpoint ~snapshots ~recorder ~redraw:draw ~spec ~golden:g exps
 
 (* Campaign of double-bit faults; [same_bit] flips the same bit in two
    different lanes (two replicas agreeing on a wrong value). *)
 let double ?(seed = 43) ?(n = 150) ?(same_bit = true) ?jobs ?progress ?checkpoint
     ?(fast_forward = true) (spec : Fault.run_spec) : report =
-  let g, snapshots = campaign_golden ~fast_forward spec in
+  let recorder = Obs.Span.make () in
+  let g, snapshots = campaign_golden ~spans:recorder ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
   if sites = 0 then invalid_arg "Campaign.double: no hardened code to inject into";
   let rng = Random.State.make [| seed |] in
   let draw () = draw_double ~same_bit rng ~sites in
-  run ?jobs ?progress ?checkpoint ~snapshots ~redraw:draw ~spec ~golden:g (plan ~n draw)
+  let exps = Obs.Span.time recorder "plan" (fun () -> plan ~n draw) in
+  run ?jobs ?progress ?checkpoint ~snapshots ~recorder ~redraw:draw ~spec ~golden:g exps
 
 (* Campaign under a fault-model axis: reg (same as {!single}), mem, addr,
    cf, or mixed.  The site streams come from the golden run's counters;
@@ -394,7 +530,8 @@ let double ?(seed = 43) ?(n = 150) ?(same_bit = true) ?jobs ?progress ?checkpoin
    kernel) are rejected up front rather than silently degenerating. *)
 let model_campaign ?(seed = 44) ?(n = 300) ?jobs ?progress ?checkpoint
     ?(fast_forward = true) ~(model : Fault.model) (spec : Fault.run_spec) : report =
-  let g, snapshots = campaign_golden ~fast_forward spec in
+  let recorder = Obs.Span.make () in
+  let g, snapshots = campaign_golden ~spans:recorder ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
   let mem_sites = g.Cpu.Machine.mem_sites in
   let branch_sites = g.Cpu.Machine.branch_sites in
@@ -410,12 +547,14 @@ let model_campaign ?(seed = 44) ?(n = 300) ?jobs ?progress ?checkpoint
         invalid_arg "Campaign.model_campaign: no hardened conditional branches");
   let rng = Random.State.make [| seed; Hashtbl.hash (Fault.model_to_string model) |] in
   let draw () = draw_model rng ~model ~sites ~mem_sites ~branch_sites in
-  run ?jobs ?progress ?checkpoint ~snapshots ~redraw:draw ~spec ~golden:g (plan ~n draw)
+  let exps = Obs.Span.time recorder "plan" (fun () -> plan ~n draw) in
+  run ?jobs ?progress ?checkpoint ~snapshots ~recorder ~redraw:draw ~spec ~golden:g exps
 
 (* One-line observability summary for bench tables. *)
 let pp_totals fmt (r : report) =
-  Format.fprintf fmt "%d runs, %.1fs wall, %.2f Gcycles simulated, %d jobs%s" r.experiments_run
+  Format.fprintf fmt "%d runs, %.1fs wall, %.2f Gcycles simulated, %d jobs%s%s" r.experiments_run
     r.wall_seconds
     (float_of_int r.cycles_simulated /. 1e9)
     r.jobs
+    (if r.restored > 0 then Printf.sprintf ", %d restored from checkpoint" r.restored else "")
     (if r.not_reached > 0 then Printf.sprintf ", %d not-reached redrawn" r.not_reached else "")

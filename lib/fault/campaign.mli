@@ -38,6 +38,10 @@ val draw_model :
 type progress = {
   completed : int;  (** experiments finished, including redraws *)
   total : int;  (** experiments currently planned, including redraws *)
+  restored : int;
+      (** of [completed], how many were replayed from a checkpoint rather
+          than executed — they finish instantly, so [eta] is computed from
+          the executed-only rate ([elapsed / (completed - restored)]) *)
   elapsed : float;  (** seconds since the campaign started *)
   eta : float;  (** estimated seconds to completion *)
   running : Fault.stats;  (** per-outcome running counters *)
@@ -53,8 +57,16 @@ type report = {
   wall_seconds : float;
   cycles_simulated : int;  (** simulated cycles over all injection runs *)
   experiments_run : int;  (** injection runs executed, including redraws *)
+  restored : int;  (** experiments replayed from the checkpoint *)
   not_reached : int;  (** runs discarded because the site was not reached *)
   jobs : int;
+  spans : Obs.Span.row list;
+      (** phase spans: where the campaign's wall time went.  Top-level
+          phases ("golden", "plan", "exec") tile the campaign; nested
+          regions ("golden/snapshot", "exec/restore", "exec/checkpoint")
+          break down captures, fast-forward restores and checkpoint I/O.
+          Wall times are non-deterministic; everything else in the report
+          above is bit-identical for any worker count. *)
 }
 
 (** [run ?jobs ?progress ?checkpoint ?redraw ~spec ~golden exps] runs a
@@ -76,13 +88,18 @@ type report = {
       fast-forward — each experiment restores the latest golden snapshot
       preceding its injection site instead of replaying the fault-free
       prefix.  Outcomes, and hence the report, are bit-identical with or
-      without it, for any worker count. *)
+      without it, for any worker count.
+    - [recorder]: a span recorder to fold the execution phases into
+      (campaign entry points pass the one that already timed their golden
+      and planning phases); without it a fresh recorder covers just this
+      call.  Either way the rows end up in [report.spans]. *)
 val run :
   ?jobs:int ->
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
   ?redraw:(unit -> Fault.experiment) ->
   ?snapshots:Cpu.Machine.snapshot array ->
+  ?recorder:Obs.Span.t ->
   spec:Fault.run_spec ->
   golden:Cpu.Machine.result ->
   Fault.experiment array ->

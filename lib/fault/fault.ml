@@ -131,7 +131,7 @@ let initial_snapshot_spacing = 12_500
    doubles — sound because captures are cumulative deltas against the base
    image (each one is self-contained), and cheap because dropped deltas
    are just garbage-collected.  The returned array is oldest-first. *)
-let golden_capture (spec : run_spec) :
+let golden_capture ?spans (spec : run_spec) :
     Cpu.Machine.result * Cpu.Machine.snapshot array =
   let machine = Cpu.Machine.create ~cfg:(golden_cfg spec) ~flags_cmp:spec.flags_cmp spec.modul in
   spec.init machine;
@@ -139,13 +139,18 @@ let golden_capture (spec : run_spec) :
   let snaps = ref [] in
   let nsnaps = ref 0 in
   let spacing = ref initial_snapshot_spacing in
+  let capture (m : Cpu.Machine.t) : Cpu.Machine.snapshot =
+    match spans with
+    | None -> Cpu.Machine.snapshot m
+    | Some r -> Obs.Span.time r "golden/snapshot" (fun () -> Cpu.Machine.snapshot m)
+  in
   (* first capture at the very first quantum boundary: experiments whose
      site falls before any later snapshot then still restore a pooled
      memory instead of paying a from-scratch machine build *)
   let next_at = ref 1 in
   let on_quantum (m : Cpu.Machine.t) =
     if m.Cpu.Machine.total_instrs >= !next_at then begin
-      snaps := !snaps @ [ Cpu.Machine.snapshot m ];
+      snaps := !snaps @ [ capture m ];
       incr nsnaps;
       if !nsnaps > max_snapshots then begin
         (* keep even indices: the earliest snapshot must survive, it is
@@ -237,7 +242,7 @@ let pick_snapshot (snapshots : Cpu.Machine.snapshot array) (e : experiment) :
    injection site and resume under the injecting config.  Snapshots carry
    their site counters, so the pre-drawn plan stays valid and the outcome
    is bit-identical to a from-scratch run (the prefix is deterministic). *)
-let run_experiment_from ?max_instrs ~(snapshots : Cpu.Machine.snapshot array)
+let run_experiment_from ?max_instrs ?spans ~(snapshots : Cpu.Machine.snapshot array)
     (spec : run_spec) (e : experiment) : Cpu.Machine.result =
   let cfg = experiment_cfg ?max_instrs spec e in
   match pick_snapshot snapshots e with
@@ -245,7 +250,14 @@ let run_experiment_from ?max_instrs ~(snapshots : Cpu.Machine.snapshot array)
   | Some sn ->
       (* ~reuse is sound here: each worker runs one experiment at a time
          and drops the machine before the next restore *)
-      Cpu.Machine.resume (Cpu.Machine.restore ~cfg ~reuse:true sn)
+      let m =
+        match spans with
+        | None -> Cpu.Machine.restore ~cfg ~reuse:true sn
+        | Some r ->
+            Obs.Span.time r "exec/restore" (fun () ->
+                Cpu.Machine.restore ~cfg ~reuse:true sn)
+      in
+      Cpu.Machine.resume m
 
 (* One experiment: flip [bit] of one lane of the destination of the [at]-th
    injection-eligible instruction. *)

@@ -80,8 +80,10 @@ val golden : run_spec -> Cpu.Machine.result
     (oldest-first), for campaign fast-forward via
     {!run_experiment_from}.  Captures are spaced by dynamic instruction
     count and geometrically thinned, so at most a couple dozen are kept
-    regardless of run length. *)
-val golden_capture : run_spec -> Cpu.Machine.result * Cpu.Machine.snapshot array
+    regardless of run length.  [spans] folds each capture's wall time
+    into the ["golden/snapshot"] phase span. *)
+val golden_capture :
+  ?spans:Obs.Span.t -> run_spec -> Cpu.Machine.result * Cpu.Machine.snapshot array
 
 (** Instruction budget for injection runs, derived from the golden run:
     [min spec.max_instrs (max 1_000_000 (20 * golden retired instrs))].
@@ -105,9 +107,12 @@ val run_experiment : ?max_instrs:int -> run_spec -> experiment -> Cpu.Machine.re
     under the injecting config.  Bit-identical outcome to a from-scratch
     {!run_experiment} — the skipped prefix is deterministic and fault-free
     by construction.  Falls back to a full run when the site precedes the
-    first snapshot. *)
+    first snapshot.  [spans] folds each restore's wall time into the
+    ["exec/restore"] phase span (recorders are thread-safe, so campaign
+    workers may share one). *)
 val run_experiment_from :
   ?max_instrs:int ->
+  ?spans:Obs.Span.t ->
   snapshots:Cpu.Machine.snapshot array ->
   run_spec ->
   experiment ->

@@ -1,0 +1,101 @@
+(** Dependency-free JSON emitter (see json.mli).  Rendering is fully
+    deterministic: member order is construction order, floats have one
+    canonical spelling, indentation is fixed — bit-identical input data
+    yields bit-identical documents. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number (f : float) : string =
+  if f <> f || f = infinity || f = neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+(* Pretty renderer: 2-space indent, "key": value, no trailing spaces. *)
+let rec render (buf : Buffer.t) ~(compact : bool) ~(indent : int) (j : t) : unit =
+  let pad n = if not compact then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let nl () = if not compact then Buffer.add_char buf '\n' in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (number f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (indent + 1);
+          render buf ~compact ~indent:(indent + 1) item)
+        items;
+      nl ();
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj members ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (indent + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf (if compact then "\":" else "\": ");
+          render buf ~compact ~indent:(indent + 1) v)
+        members;
+      nl ();
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string ?(compact = false) (j : t) : string =
+  let buf = Buffer.create 256 in
+  render buf ~compact ~indent:0 j;
+  Buffer.contents buf
+
+let to_channel ?(compact = false) (oc : out_channel) (j : t) : unit =
+  output_string oc (to_string ~compact j)
+
+let to_file (path : string) (j : t) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      to_channel oc j;
+      output_char oc '\n')

@@ -1,0 +1,34 @@
+(** Dependency-free JSON emitter: the one serialization path for every
+    machine-readable report (campaign results, bench tables, run
+    profiles).  Documents are plain values, rendering is deterministic —
+    object members keep their construction order and floats have one
+    canonical spelling — so two reports over identical data are
+    bit-identical and can be diffed across runs, worker counts and PRs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Body of a JSON string literal (no surrounding quotes): quote and
+    backslash get a backslash escape, control characters become the usual
+    two-character escapes or [\u00XX]; everything else is passed through
+    byte-for-byte (UTF-8 stays UTF-8). *)
+val escape : string -> string
+
+(** Canonical float spelling: integral values as [x.0], the rest via
+    [%.12g]; NaN and infinities (which JSON cannot represent) as [null]. *)
+val number : float -> string
+
+(** Renders pretty-printed (2-space indent) by default, single-line with
+    [~compact:true].  Both forms are deterministic. *)
+val to_string : ?compact:bool -> t -> string
+
+val to_channel : ?compact:bool -> out_channel -> t -> unit
+
+(** Pretty-printed document plus a trailing newline. *)
+val to_file : string -> t -> unit

@@ -1,0 +1,53 @@
+(** Phase-span recorder (see span.mli): a mutex-protected table
+    path -> (count, wall, cycles).  Cheap enough to leave on — one
+    [gettimeofday] pair and one short critical section per region. *)
+
+type cell = { mutable c_count : int; mutable c_wall : float; mutable c_cycles : int }
+
+type t = { mu : Mutex.t; cells : (string, cell) Hashtbl.t }
+
+type row = { path : string; count : int; wall : float; cycles : int }
+
+let make () : t = { mu = Mutex.create (); cells = Hashtbl.create 16 }
+
+let cell (r : t) (path : string) : cell =
+  match Hashtbl.find_opt r.cells path with
+  | Some c -> c
+  | None ->
+      let c = { c_count = 0; c_wall = 0.0; c_cycles = 0 } in
+      Hashtbl.replace r.cells path c;
+      c
+
+let add (r : t) ?(cycles = 0) ?(count = 1) (path : string) (wall : float) : unit =
+  Mutex.protect r.mu (fun () ->
+      let c = cell r path in
+      c.c_count <- c.c_count + count;
+      c.c_wall <- c.c_wall +. wall;
+      c.c_cycles <- c.c_cycles + cycles)
+
+let add_cycles (r : t) (path : string) (cycles : int) : unit =
+  add r ~cycles ~count:0 path 0.0
+
+let time (r : t) (path : string) (f : unit -> 'a) : 'a =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add r path (Unix.gettimeofday () -. t0)) f
+
+let rows (r : t) : row list =
+  let all =
+    Mutex.protect r.mu (fun () ->
+        Hashtbl.fold
+          (fun path c acc ->
+            { path; count = c.c_count; wall = c.c_wall; cycles = c.c_cycles } :: acc)
+          r.cells [])
+  in
+  List.sort (fun a b -> compare a.path b.path) all
+
+let coverage ~(rows : row list) ~(wall : float) : float =
+  if wall <= 0.0 then 1.0
+  else
+    let top =
+      List.fold_left
+        (fun acc r -> if String.contains r.path '/' then acc else acc +. r.wall)
+        0.0 rows
+    in
+    top /. wall

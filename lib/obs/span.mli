@@ -1,0 +1,42 @@
+(** Lightweight phase spans: named wall-time (and simulated-Gcycle)
+    regions a campaign or bench threads through its phases so a report can
+    explain where the time went.
+
+    A recorder aggregates by span *path*: ["exec"] is a top-level phase,
+    ["exec/checkpoint"] a region nested inside it (nesting is expressed in
+    the name, so spans recorded from worker domains need no per-domain
+    stack).  Recorders are thread-safe — workers may time regions
+    concurrently; each completed region folds (count, wall seconds,
+    attributed cycles) into its path's cell under the recorder's lock.
+
+    Top-level paths are expected to tile the instrumented interval:
+    {!coverage} reports the fraction of a measured wall time they account
+    for, which campaigns keep ≥ 0.95. *)
+
+type t
+
+type row = {
+  path : string;  (** phase name, ['/']-separated for nested regions *)
+  count : int;  (** completed regions folded into this path *)
+  wall : float;  (** total wall seconds *)
+  cycles : int;  (** simulated cycles attributed via {!add_cycles} *)
+}
+
+val make : unit -> t
+
+(** [time r path f] runs [f] and folds its wall time into [path]
+    (exception-safe: the region is recorded even if [f] raises). *)
+val time : t -> string -> (unit -> 'a) -> 'a
+
+(** Fold an externally measured region into [path]. *)
+val add : t -> ?cycles:int -> ?count:int -> string -> float -> unit
+
+(** Attribute simulated cycles to [path] without touching its wall time. *)
+val add_cycles : t -> string -> int -> unit
+
+(** All rows, sorted by path (deterministic). *)
+val rows : t -> row list
+
+(** Fraction of [wall] accounted for by the top-level rows (paths without
+    ['/']); [1.0] when [wall] is not positive. *)
+val coverage : rows:row list -> wall:float -> float

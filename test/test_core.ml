@@ -17,4 +17,5 @@ let () =
       ("smoke", Test_smoke.tests);
       ("workloads", Test_workloads.tests);
       ("characteristics", Test_characteristics.tests);
+      ("obs", Test_obs.tests);
     ]
