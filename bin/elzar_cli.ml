@@ -114,9 +114,59 @@ let run_cmd =
 
 (* ---- inject ---- *)
 
+(* One --chaos entry: EVENT@SLOT with an optional trailing '!' for
+   "persistent" (act on every execution of the slot, not just the first).
+   EVENT is raise | hang | kill | slow:SECONDS. *)
+let chaos_spec_of_string (s : string) : (Supervisor.chaos_spec, [ `Msg of string ]) result
+    =
+  let body, persistent =
+    let l = String.length s in
+    if l > 0 && s.[l - 1] = '!' then (String.sub s 0 (l - 1), true) else (s, false)
+  in
+  match String.index_opt body '@' with
+  | None -> Error (`Msg (Printf.sprintf "chaos entry %S: expected EVENT@SLOT" s))
+  | Some i -> (
+      let ev = String.sub body 0 i in
+      let slot_s = String.sub body (i + 1) (String.length body - i - 1) in
+      match int_of_string_opt slot_s with
+      | None -> Error (`Msg (Printf.sprintf "chaos entry %S: bad slot %S" s slot_s))
+      | Some slot -> (
+          let event =
+            match ev with
+            | "raise" -> Ok Supervisor.Chaos_raise
+            | "hang" -> Ok Supervisor.Chaos_hang
+            | "kill" -> Ok Supervisor.Chaos_kill
+            | _ when String.length ev > 5 && String.sub ev 0 5 = "slow:" -> (
+                match float_of_string_opt (String.sub ev 5 (String.length ev - 5)) with
+                | Some d -> Ok (Supervisor.Chaos_slow d)
+                | None -> Error (`Msg (Printf.sprintf "chaos entry %S: bad duration" s)))
+            | _ ->
+                Error
+                  (`Msg
+                     (Printf.sprintf
+                        "chaos entry %S: unknown event %S (raise|hang|kill|slow:SECS)" s
+                        ev))
+          in
+          Result.map (fun e -> Supervisor.chaos ~persistent ~slot e) event))
+
+let chaos_conv : Supervisor.chaos_plan Arg.conv =
+  let parse s =
+    if s = "" then Ok []
+    else
+      List.fold_left
+        (fun acc entry ->
+          match (acc, chaos_spec_of_string entry) with
+          | Ok l, Ok c -> Ok (l @ [ c ])
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+        (Ok []) (String.split_on_char ',' s)
+  in
+  Arg.conv (parse, fun fmt (l : Supervisor.chaos_plan) ->
+      Format.fprintf fmt "<%d chaos specs>" (List.length l))
+
 let inject_cmd =
   let run name build n seed jobs double same_bit model avf checkpoint quiet
-      reference_engine no_fast_forward json =
+      reference_engine no_fast_forward json no_supervise retries deadline_factor
+      deadline_floor max_tool_errors chaos =
     let w = Workloads.Registry.find name in
     let spec = Workloads.Workload.fi_spec w ~build () in
     let spec =
@@ -124,6 +174,21 @@ let inject_cmd =
       else spec
     in
     let fast_forward = not no_fast_forward in
+    (* Ctrl-C / SIGTERM: cooperative cancellation.  The flag stops the
+       campaign at the next experiment boundary; the engine flushes and
+       closes the checkpoint on the way out, so the partial campaign can
+       be resumed.  The conventional 128+signal exit code is produced
+       after the partial report is printed. *)
+    let cancel = Atomic.make false in
+    let sig_seen = ref Sys.sigint in
+    let on_sig s =
+      Atomic.set cancel true;
+      sig_seen := s
+    in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle on_sig);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle on_sig)
+     with Invalid_argument _ | Sys_error _ -> ());
     let progress =
       if quiet then None
       else
@@ -131,24 +196,44 @@ let inject_cmd =
           (fun (p : Campaign.progress) ->
             if p.Campaign.completed mod 10 = 0 || p.Campaign.completed >= p.Campaign.total
             then
-              Printf.eprintf "\r%d/%d injections (%.0fs elapsed, eta %.0fs%s)   %!"
-                p.Campaign.completed p.Campaign.total p.Campaign.elapsed p.Campaign.eta
+              Printf.eprintf "\r%d/%d injections (%.0fs elapsed, eta %s%s%s)   %!"
+                p.Campaign.completed p.Campaign.total p.Campaign.elapsed
+                (* no executed run yet (pure checkpoint replay so far):
+                   there is no rate, so no ETA to print *)
+                (if Float.is_nan p.Campaign.eta then "--:--"
+                 else Printf.sprintf "%.0fs" p.Campaign.eta)
                 (if p.Campaign.restored > 0 then
                    Printf.sprintf ", %d from checkpoint" p.Campaign.restored
+                 else "")
+                (if p.Campaign.quarantined > 0 then
+                   Printf.sprintf ", %d quarantined" p.Campaign.quarantined
                  else "");
             if p.Campaign.completed >= p.Campaign.total then prerr_newline ())
+    in
+    let supervise =
+      if no_supervise then None
+      else
+        Some
+          {
+            Supervisor.retries;
+            deadline_factor;
+            deadline_floor;
+            max_tool_errors;
+          }
     in
     let model = Fault.model_of_string model in
     let report =
       if double then
-        Campaign.double ~seed ~n ~same_bit ?jobs ?progress ?checkpoint ~fast_forward spec
+        Campaign.double ~seed ~n ~same_bit ?jobs ?progress ?checkpoint ~fast_forward
+          ?supervise ~chaos ~cancel spec
       else
         match model with
         | Fault.Reg ->
-            Campaign.single ~seed ~n ?jobs ?progress ?checkpoint ~fast_forward spec
+            Campaign.single ~seed ~n ?jobs ?progress ?checkpoint ~fast_forward
+              ?supervise ~chaos ~cancel spec
         | m ->
             Campaign.model_campaign ~seed ~n ?jobs ?progress ?checkpoint ~fast_forward
-              ~model:m spec
+              ?supervise ~chaos ~cancel ~model:m spec
     in
     Format.printf "%a@." Fault.pp_stats report.Campaign.stats;
     let obs = Array.map snd report.Campaign.outcomes in
@@ -157,7 +242,25 @@ let inject_cmd =
     | None -> ());
     if avf then Format.printf "%a" Fault.pp_avf (Fault.avf_table obs);
     Format.printf "%a@." Campaign.pp_totals report;
-    match json with
+    let nq = List.length report.Campaign.quarantined in
+    if nq > 0 then begin
+      Printf.eprintf "%d experiment(s) quarantined (excluded from the stats above):\n" nq;
+      List.iter
+        (fun te ->
+          Format.eprintf "  %a@." Supervisor.pp_tool_error te;
+          if te.Supervisor.te_backtrace <> "" then
+            Format.eprintf "%s@." te.Supervisor.te_backtrace)
+        report.Campaign.quarantined
+    end;
+    if report.Campaign.worker_deaths > 0 then
+      Printf.eprintf "%d worker domain death(s); workers were respawned\n"
+        report.Campaign.worker_deaths;
+    if report.Campaign.interrupted then
+      Printf.eprintf "campaign interrupted; partial results above%s\n"
+        (match checkpoint with
+        | Some f -> Printf.sprintf " — rerun with --checkpoint %s to resume" f
+        | None -> " (no --checkpoint given, a rerun restarts from scratch)");
+    (match json with
     | Some path ->
         let params =
           [
@@ -170,11 +273,19 @@ let inject_cmd =
             ( "engine",
               Obs.Json.Str (if reference_engine then "reference" else "closure") );
             ("fast_forward", Obs.Json.Bool fast_forward);
+            ("supervised", Obs.Json.Bool (supervise <> None));
           ]
         in
         Report.write path (Report.campaign ~params report);
         Printf.printf "wrote %s\n" path
-    | None -> ()
+    | None -> ());
+    if report.Campaign.interrupted then
+      exit (128 + if !sig_seen = Sys.sigterm then 15 else 2);
+    if supervise <> None && nq > max_tool_errors then begin
+      Printf.eprintf "too many tool errors: %d quarantined > --max-tool-errors %d\n" nq
+        max_tool_errors;
+      exit 3
+    end
   in
   let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD") in
   let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of injections.") in
@@ -232,10 +343,51 @@ let inject_cmd =
                    histogram, phase spans) to $(docv) as versioned JSON. The result \
                    sections are bit-identical for any --jobs value.")
   in
+  let no_supervise =
+    Arg.(value & flag
+         & info [ "no-supervise" ]
+             ~doc:"Run experiments without the supervision layer (no host-exception \
+                   retry/quarantine, no wall-clock watchdog, no worker respawn). \
+                   Results are bit-identical either way on campaigns with no tool \
+                   errors.")
+  in
+  let retries =
+    Arg.(value & opt int Supervisor.default.Supervisor.retries
+         & info [ "retries" ]
+             ~doc:"Re-executions of an experiment whose run raised a host exception \
+                   before it is quarantined.")
+  in
+  let deadline_factor =
+    Arg.(value & opt float Supervisor.default.Supervisor.deadline_factor
+         & info [ "deadline-factor" ]
+             ~doc:"Per-experiment wall-clock deadline, as a multiple of the running \
+                   median experiment time; a run aborted twice by the watchdog is \
+                   quarantined.")
+  in
+  let deadline_floor =
+    Arg.(value & opt float Supervisor.default.Supervisor.deadline_floor
+         & info [ "deadline-floor" ]
+             ~doc:"Never deadline an experiment below this many seconds.")
+  in
+  let max_tool_errors =
+    Arg.(value & opt int Supervisor.default.Supervisor.max_tool_errors
+         & info [ "max-tool-errors" ]
+             ~doc:"Exit nonzero (3) when more than this many experiments were \
+                   quarantined. The campaign still completes and reports either way.")
+  in
+  let chaos =
+    Arg.(value & opt chaos_conv []
+         & info [ "chaos" ] ~docv:"PLAN"
+             ~doc:"Test-only harness-failure injection: comma-separated EVENT@SLOT \
+                   entries (raise@3, hang@5, slow:0.2@7, kill@9; trailing '!' makes an \
+                   entry fire on every execution of its slot). Requires supervision.")
+  in
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(const run $ name_arg $ build_arg $ n $ seed $ jobs $ double $ same_bit $ model
-          $ avf $ checkpoint $ quiet $ reference_engine $ no_fast_forward $ json)
+          $ avf $ checkpoint $ quiet $ reference_engine $ no_fast_forward $ json
+          $ no_supervise $ retries $ deadline_factor $ deadline_floor $ max_tool_errors
+          $ chaos)
 
 (* ---- show ---- *)
 

@@ -135,6 +135,13 @@ let second_flip ~(dlanes : int) ~(lane : int) ~(bit : int) ~(lane2 : int) ~(bit2
    output, traps), which the engine-equivalence tests assert. *)
 type engine_kind = Reference | Closure
 
+(* Raised out of [resume] when the abort hook reports cancellation at a
+   quantum boundary.  Deliberately NOT a [trap_reason]: an aborted run is
+   not an experiment outcome (the simulation was cut short by the host),
+   so it must never be classified — supervisors catch it and decide
+   whether to retry or quarantine. *)
+exception Abort
+
 type config = {
   max_instrs : int;
   inject : inject option;
@@ -152,6 +159,20 @@ type config = {
   profile : Profile.t option;
       (** per-instruction-class cycle attribution (closure engine only);
           [None] compiles no hook into the closures at all *)
+  abort : (unit -> bool) option;
+      (** cancellation hook, polled once per scheduling quantum (the same
+          boundary [on_quantum] fires on): the first [true] raises {!Abort}
+          out of the run.  Kept a closure so callers can poll an atomic
+          flag set by a watchdog without the machine knowing about it;
+          [None] compiles to a single match per quantum *)
+  chaos : (unit -> unit) option;
+      (** test-only chaos hook: invoked exactly once, at the first quantum
+          boundary of the run, on the simulation thread.  Supervision
+          tests use it to raise host exceptions, stall the run until the
+          abort hook fires, or slow it down — proving the supervisor's
+          isolation/watchdog/retry paths against a real engine.  [None]
+          (the default everywhere outside tests) costs one bool check per
+          quantum *)
 }
 
 let default_config =
@@ -164,6 +185,8 @@ let default_config =
     trace = None;
     engine = Closure;
     profile = None;
+    abort = None;
+    chaos = None;
   }
 
 type t = {
@@ -1920,11 +1943,21 @@ let resume ?on_quantum (m : t) : result =
   let run_quantum =
     match m.cfg.engine with Reference -> ref_quantum | Closure -> closure_quantum
   in
+  (* chaos fires once, at the first quantum boundary of this drive; the
+     abort hook is polled at every one.  Both raise out of [loop] — past
+     the [Trap] handler below — so neither can be mistaken for an
+     experiment outcome. *)
+  let chaos_pending = ref (m.cfg.chaos <> None) in
   let rec loop () =
     match pick_next m with
     | Some th ->
         run_quantum m th;
         (match on_quantum with Some f -> f m | None -> ());
+        if !chaos_pending then begin
+          chaos_pending := false;
+          match m.cfg.chaos with Some f -> f () | None -> ()
+        end;
+        (match m.cfg.abort with Some f when f () -> raise Abort | _ -> ());
         loop ()
     | None ->
         if List.for_all (fun th -> th.status = Done) m.threads then ()

@@ -117,6 +117,13 @@ val second_flip :
     produce bit-identical results. *)
 type engine_kind = Reference | Closure
 
+(** Raised out of {!resume}/{!run} when the [abort] hook reports
+    cancellation at a quantum boundary.  Not a {!trap_reason}: an aborted
+    run was cut short by the host (watchdog deadline, Ctrl-C), so it has
+    no outcome and must never be classified — supervisors catch it and
+    decide whether to retry or quarantine the experiment. *)
+exception Abort
+
 type config = {
   max_instrs : int;  (** exceeded -> Hang *)
   inject : inject option;
@@ -137,6 +144,19 @@ type config = {
           compiles nothing — the closures are identical to an unprofiled
           build, so the off state costs zero.  Only the [Closure] engine
           attributes; [Reference] ignores the table. *)
+  abort : (unit -> bool) option;
+      (** cancellation hook, polled once per scheduling quantum (the
+          boundary [on_quantum] fires on); the first [true] raises
+          {!Abort} out of the run.  Cheap by construction: callers pass a
+          closure reading an atomic flag armed by an external watchdog,
+          and the simulated results of a run that was never aborted are
+          bit-identical to one executed without the hook. *)
+  chaos : (unit -> unit) option;
+      (** test-only chaos hook, invoked exactly once at the first quantum
+          boundary, on the simulation thread.  Supervision tests use it
+          to raise host exceptions, stall until [abort] fires, or sleep —
+          exercising every supervisor path against the real engine.
+          [None] outside tests. *)
 }
 
 val default_config : config

@@ -19,7 +19,15 @@
     Observability: per-outcome running counters and an ETA are pushed to
     an optional progress callback, and the report totals wall-clock time
     and simulated cycles.  Campaigns can checkpoint completed experiments
-    to a file and resume after an interruption instead of restarting. *)
+    to a file and resume after an interruption instead of restarting.
+
+    Supervision: with [supervise], experiments run under {!Supervisor} —
+    host exceptions are retried then quarantined, runaway runs are cut by
+    a wall-clock watchdog, dead worker domains are respawned, and an
+    external [cancel] flag stops the campaign at the next experiment
+    boundary (the checkpoint survives for a later resume).  Quarantined
+    experiments are excluded from the statistics and reported
+    separately. *)
 
 (* ---- sizing ---- *)
 
@@ -101,9 +109,10 @@ type progress = {
   total : int;  (** experiments currently planned, including redraws *)
   restored : int;  (** completed experiments replayed from a checkpoint *)
   elapsed : float;  (** seconds since the campaign started *)
-  eta : float;  (** estimated seconds to completion *)
+  eta : float;  (** estimated seconds to completion; [nan] until a rate exists *)
   running : Fault.stats;  (** per-outcome running counters *)
   not_reached : int;  (** discarded so far *)
+  quarantined : int;  (** experiments given up on by the supervisor *)
 }
 
 type report = {
@@ -115,14 +124,21 @@ type report = {
   experiments_run : int;  (** injection runs executed, including redraws *)
   restored : int;  (** experiments replayed from the checkpoint *)
   not_reached : int;  (** runs discarded because the site was not reached *)
+  quarantined : Supervisor.tool_error list;
+      (** supervisor-quarantined experiments, in plan-slot order; excluded
+          from [stats]/[outcomes] *)
+  worker_deaths : int;  (** worker domains that died and were respawned *)
+  interrupted : bool;  (** cancelled before every experiment completed *)
   jobs : int;
   spans : Obs.Span.row list;  (** where the campaign's wall time went *)
 }
 
 (* ---- checkpointing ---- *)
 
-(* A checkpoint is the map (redraw round, plan slot) -> observation of
-   every completed experiment, keyed by a digest of the plan + golden run
+(* A checkpoint maps (redraw round, plan slot) to what the campaign
+   learned about that slot — an observation, or a quarantine record for a
+   slot the supervisor gave up on (so a resume never re-executes a
+   known-poison plan).  It is keyed by a digest of the plan + golden run
    so a stale file for a different campaign can never be resumed.  The
    format is append-friendly: a magic line, the key, then one marshalled
    record per completed experiment — a save appends only the records since
@@ -131,7 +147,11 @@ type report = {
    record.  The magic line guards the unsafe [Marshal.from_channel]
    against files in older formats (or other files altogether). *)
 
-let ck_magic = "ELZCK3\n"
+let ck_magic = "ELZCK4\n"
+
+type ck_record =
+  | Ck_obs of (int * int) * Fault.obs
+  | Ck_poison of (int * int) * Supervisor.tool_error
 
 let ck_key ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : string =
   Digest.to_hex
@@ -144,13 +164,16 @@ let ck_key ~(golden : Cpu.Machine.result) (exps : Fault.experiment array) : stri
             golden.Cpu.Machine.branch_sites )
           []))
 
-(* Loads a checkpoint: the restored observations plus, when the header is
-   valid for this campaign, the byte offset just past the last complete
-   record — the writer truncates there and appends, so a tail truncated by
-   a crash can never corrupt a later resume. *)
+(* Loads a checkpoint: the restored observations and quarantine records
+   plus, when the header is valid for this campaign, the byte offset just
+   past the last complete record — the writer truncates there and appends,
+   so a tail truncated by a crash can never corrupt a later resume. *)
 let ck_load (path : string) ~(key : string) :
-    ((int * int), Fault.obs) Hashtbl.t * int option =
+    ((int * int), Fault.obs) Hashtbl.t
+    * ((int * int), Supervisor.tool_error) Hashtbl.t
+    * int option =
   let tbl = Hashtbl.create 64 in
+  let ptbl = Hashtbl.create 8 in
   let resume_at = ref None in
   (if Sys.file_exists path then
      try
@@ -167,8 +190,9 @@ let ck_load (path : string) ~(key : string) :
               mid-append) just ends the replay, keeping everything before *)
            try
              while true do
-               let ((k : int * int), (v : Fault.obs)) = Marshal.from_channel ic in
-               Hashtbl.replace tbl k v;
+               (match (Marshal.from_channel ic : ck_record) with
+               | Ck_obs (k, v) -> Hashtbl.replace tbl k v
+               | Ck_poison (k, te) -> Hashtbl.replace ptbl k te);
                resume_at := Some (pos_in ic)
              done
            with _ -> ())
@@ -177,7 +201,7 @@ let ck_load (path : string) ~(key : string) :
          (* unreadable/corrupt/stale checkpoint: say so once and start over *)
          Printf.eprintf
            "campaign: checkpoint %s unreadable or stale, restarting campaign\n%!" path);
-  (tbl, !resume_at)
+  (tbl, ptbl, !resume_at)
 
 (* The writer owns the checkpoint channel for the whole campaign.  Its
    mutex serializes appends among workers without touching the campaign
@@ -225,8 +249,7 @@ let ck_open (path : string) ~(key : string) (resume_at : int option) : ck_writer
 (* Appends a batch of records ([recs] is newest-first) and makes them
    durable.  Runs outside the campaign mutex: only appenders contend on
    [w_io], workers keep claiming experiments meanwhile. *)
-let ck_append (w : ck_writer) ~(spans : Obs.Span.t)
-    (recs : ((int * int) * Fault.obs) list) : unit =
+let ck_append (w : ck_writer) ~(spans : Obs.Span.t) (recs : ck_record list) : unit =
   Mutex.protect w.w_io (fun () ->
       match w.w_oc with
       | None -> ()
@@ -234,7 +257,7 @@ let ck_append (w : ck_writer) ~(spans : Obs.Span.t)
           try
             Obs.Span.time spans "exec/checkpoint" (fun () ->
                 List.iter
-                  (fun (r : (int * int) * Fault.obs) -> Marshal.to_channel oc r [])
+                  (fun (r : ck_record) -> Marshal.to_channel oc r [])
                   (List.rev recs);
                 flush oc;
                 Unix.fsync (Unix.descr_of_out_channel oc))
@@ -264,106 +287,249 @@ type shared = {
   mutable running : Fault.stats;
   mutable nreach : int;
   mutable cycles : int;
-  mutable executed : int;  (** completed minus checkpoint-restored *)
+  mutable executed : int;  (** completed minus checkpoint-restored/quarantined *)
   mutable restored : int;  (** completed experiments replayed from the checkpoint *)
-  mutable ck_pending : ((int * int) * Fault.obs) list;
-      (** observations since the last checkpoint append, newest first *)
+  mutable quarantined : int;  (** experiments the supervisor gave up on *)
+  mutable ck_pending : ck_record list;
+      (** records since the last checkpoint append, newest first *)
   mutable since_save : int;
+  mutable progress_warned : bool;  (** progress callback raised at least once *)
 }
+
+(* What one batch slot produced.  [C_none] marks a slot that was never
+   executed — the campaign was cancelled before a worker got to it (or
+   mid-run); the slot stays absent from outcomes and the checkpoint, so a
+   resume re-executes it. *)
+type cell =
+  | C_none
+  | C_obs of Fault.obs
+  | C_poison of Supervisor.tool_error
 
 (* Runs one batch of (plan slot, experiment) pairs over [jobs] domains.
    Each worker builds its own machines ({!Fault.run_experiment} creates a
    fresh one per run); the only shared mutable state is the claim counter,
-   the disjointly-indexed output array and [shared] under its mutex.
-   Returns the observations in batch order. *)
+   the requeue list, the disjointly-indexed output array and [shared]
+   under its mutex.  Returns the cells in batch order.
+
+   Supervised mode ([sup <> None]) always runs workers on spawned domains
+   — even at [jobs = 1] — so a worker death (a chaos kill, or a real
+   crashed domain) can never take down the calling domain: the join loop
+   detects the death, requeues the slot the dead worker held (re-executed
+   up to the supervisor's retry budget, then quarantined as
+   [Worker_death]) and respawns the worker. *)
 let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
     ~(snapshots : Cpu.Machine.snapshot array) ~(max_instrs : int) ~(round : int)
-    ~ck_tbl ~(writer : ck_writer option) ~(spans : Obs.Span.t) ~(shared : shared)
-    ~(progress : (progress -> unit) option)
-    (batch : (int * Fault.experiment) array) : Fault.obs array =
+    ~ck_tbl ~ck_poison ~(writer : ck_writer option) ~(spans : Obs.Span.t)
+    ~(shared : shared) ~(progress : (progress -> unit) option)
+    ~(sup : Supervisor.t option) ~(chaos : Supervisor.chaos_plan)
+    ~(cancel : bool Atomic.t option) (batch : (int * Fault.experiment) array) :
+    cell array =
   let k = Array.length batch in
-  let out = Array.make k None in
+  let out = Array.make k C_none in
   let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < k then begin
-        let slot, e = batch.(i) in
-        let restored = Hashtbl.find_opt ck_tbl (round, slot) in
-        let (o : Fault.obs) =
-          match restored with
-          | Some o ->
-              o
-          | None ->
-              Fault.observe ~golden
-                (if snapshots = [||] then Fault.run_experiment ~max_instrs spec e
-                 else Fault.run_experiment_from ~max_instrs ~snapshots ~spans spec e)
-        in
-        out.(i) <- Some o;
-        Mutex.lock shared.mutex;
-        shared.completed <- shared.completed + 1;
+  let jobs = max 1 (min jobs k) in
+  (* slot index each worker currently holds (-1 = none): read by the join
+     loop after a worker death to find what must be requeued *)
+  let inflight = Array.make jobs (-1) in
+  let rq_lock = Mutex.create () in
+  let requeued = ref [] in
+  let death_tries : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let cancelled () = match cancel with Some c -> Atomic.get c | None -> false in
+  let claim () =
+    match
+      Mutex.protect rq_lock (fun () ->
+          match !requeued with
+          | [] -> None
+          | i :: tl ->
+              requeued := tl;
+              Some i)
+    with
+    | Some _ as r -> r
+    | None ->
+        let i = Atomic.fetch_and_add next 1 in
+        if i < k then Some i else None
+  in
+  (* Folds one finished slot into the shared state, snapshots progress for
+     the callback, and returns any checkpoint records due for an append
+     (performed by the caller OUTSIDE the mutex).  Shared by the workers
+     and by the join loop's worker-death quarantine path. *)
+  let record ~(slot : int) ~(fresh : bool) (c : cell) : ck_record list option =
+    Mutex.lock shared.mutex;
+    shared.completed <- shared.completed + 1;
+    (match c with
+    | C_obs o ->
         shared.cycles <- shared.cycles + o.Fault.o_cycles;
-        if restored = None then shared.executed <- shared.executed + 1
+        if fresh then shared.executed <- shared.executed + 1
         else shared.restored <- shared.restored + 1;
         (match o.Fault.o_outcome with
         | Fault.Not_reached -> shared.nreach <- shared.nreach + 1
-        | oc -> shared.running <- Fault.add_outcome shared.running oc);
-        (* restored observations are already in the file; only fresh ones
-           queue for the next append *)
-        let flush_recs =
-          match writer with
-          | Some _ when restored = None ->
-              shared.ck_pending <- ((round, slot), o) :: shared.ck_pending;
-              shared.since_save <- shared.since_save + 1;
-              if shared.since_save >= save_every then begin
-                shared.since_save <- 0;
-                let recs = shared.ck_pending in
-                shared.ck_pending <- [];
-                Some recs
-              end
-              else None
-          | _ -> None
+        | oc -> shared.running <- Fault.add_outcome shared.running oc)
+    | C_poison _ ->
+        shared.quarantined <- shared.quarantined + 1;
+        if not fresh then shared.restored <- shared.restored + 1
+    | C_none -> assert false);
+    (* restored records are already in the file; only fresh ones queue for
+       the next append *)
+    let flush_recs =
+      match writer with
+      | Some _ when fresh ->
+          let r =
+            match c with
+            | C_obs o -> Ck_obs ((round, slot), o)
+            | C_poison te -> Ck_poison ((round, slot), te)
+            | C_none -> assert false
+          in
+          shared.ck_pending <- r :: shared.ck_pending;
+          shared.since_save <- shared.since_save + 1;
+          if shared.since_save >= save_every then begin
+            shared.since_save <- 0;
+            let recs = shared.ck_pending in
+            shared.ck_pending <- [];
+            Some recs
+          end
+          else None
+      | _ -> None
+    in
+    (match progress with
+    | None -> ()
+    | Some f -> (
+        let elapsed = Unix.gettimeofday () -. shared.t0 in
+        (* rate over actually-executed runs only: checkpoint-restored
+           experiments complete instantly, and folding them into the rate
+           made a resumed campaign's ETA wildly optimistic.  Until at
+           least one run has executed there is no rate at all: the ETA is
+           [nan] (render it as unknown), not a garbage extrapolation from
+           the restore-replay speed. *)
+        let eta =
+          if shared.executed = 0 then Float.nan
+          else
+            elapsed /. float_of_int shared.executed
+            *. float_of_int (max 0 (shared.total - shared.completed))
         in
-        let snap =
-          match progress with
-          | None -> None
-          | Some _ ->
-              let elapsed = Unix.gettimeofday () -. shared.t0 in
-              (* rate over actually-executed runs only: checkpoint-restored
-                 experiments complete instantly, and folding them into the
-                 rate made a resumed campaign's ETA wildly optimistic *)
-              let per = elapsed /. float_of_int (max 1 shared.executed) in
-              Some
-                {
-                  completed = shared.completed;
-                  total = shared.total;
-                  restored = shared.restored;
-                  elapsed;
-                  eta = per *. float_of_int (max 0 (shared.total - shared.completed));
-                  running = shared.running;
-                  not_reached = shared.nreach;
-                }
+        let p =
+          {
+            completed = shared.completed;
+            total = shared.total;
+            restored = shared.restored;
+            elapsed;
+            eta;
+            running = shared.running;
+            not_reached = shared.nreach;
+            quarantined = shared.quarantined;
+          }
         in
-        (* the progress callback stays inside the critical section: it must
-           see a consistent snapshot, and serializing it spares callers any
-           locking of their own *)
-        (match (progress, snap) with Some f, Some p -> f p | _ -> ());
-        Mutex.unlock shared.mutex;
-        (* checkpoint I/O happens OUTSIDE the campaign mutex: the fsync
-           only blocks other appenders (on the writer's own lock), not
-           every worker trying to record a result *)
-        (match (flush_recs, writer) with
-        | Some recs, Some w -> ck_append w ~spans recs
-        | _ -> ());
-        loop ()
-      end
+        (* the progress callback stays inside the critical section (it
+           must see a consistent snapshot) but is exception-safe: a
+           raising callback must not kill a worker mid-campaign, so it
+           warns once and the campaign carries on *)
+        try f p
+        with exn ->
+          if not shared.progress_warned then begin
+            shared.progress_warned <- true;
+            Printf.eprintf "campaign: progress callback raised %s, continuing\n%!"
+              (Printexc.to_string exn)
+          end));
+    Mutex.unlock shared.mutex;
+    flush_recs
+  in
+  let finish ~slot ~fresh c =
+    let flush_recs = record ~slot ~fresh c in
+    (* checkpoint I/O happens OUTSIDE the campaign mutex: the fsync only
+       blocks other appenders (on the writer's own lock), not every worker
+       trying to record a result *)
+    match (flush_recs, writer) with
+    | Some recs, Some w -> ck_append w ~spans recs
+    | _ -> ()
+  in
+  let worker wid () =
+    let rec loop () =
+      if cancelled () then ()
+      else
+        match claim () with
+        | None -> ()
+        | Some i -> (
+            inflight.(wid) <- i;
+            let slot, e = batch.(i) in
+            let fresh, c =
+              match Hashtbl.find_opt ck_tbl (round, slot) with
+              | Some o -> (false, C_obs o)
+              | None -> (
+                  match Hashtbl.find_opt ck_poison (round, slot) with
+                  | Some te ->
+                      (* known-poison plan from a previous attempt: never
+                         re-execute it *)
+                      (false, C_poison te)
+                  | None -> (
+                      match sup with
+                      | None ->
+                          ( true,
+                            C_obs
+                              (Fault.observe ~golden
+                                 (if snapshots = [||] then
+                                    Fault.run_experiment ~max_instrs spec e
+                                  else
+                                    Fault.run_experiment_from ~max_instrs ~snapshots
+                                      ~spans spec e)) )
+                      | Some s -> (
+                          match
+                            Supervisor.supervised_run s ~wid ~round ~slot ~chaos
+                              ~max_instrs ~snapshots ~spans spec e
+                          with
+                          | Supervisor.V_ok r -> (true, C_obs (Fault.observe ~golden r))
+                          | Supervisor.V_quarantined te -> (true, C_poison te)
+                          | Supervisor.V_cancelled -> (true, C_none))))
+            in
+            inflight.(wid) <- -1;
+            match c with
+            | C_none -> ()  (* cancelled mid-run: slot stays unexecuted *)
+            | _ ->
+                out.(i) <- c;
+                finish ~slot ~fresh c;
+                loop ())
     in
     loop ()
   in
-  let jobs = max 1 (min jobs k) in
-  if jobs = 1 then worker ()
-  else Array.iter Domain.join (Array.init jobs (fun _ -> Domain.spawn worker));
-  Array.map (function Some oc -> oc | None -> assert false) out
+  (match sup with
+  | None ->
+      if jobs = 1 then worker 0 ()
+      else
+        Array.iter Domain.join (Array.init jobs (fun wid -> Domain.spawn (worker wid)))
+  | Some s ->
+      let requeue_or_quarantine i =
+        let slot, _ = batch.(i) in
+        let tries = Option.value ~default:0 (Hashtbl.find_opt death_tries i) + 1 in
+        Hashtbl.replace death_tries i tries;
+        if tries > (Supervisor.config s).Supervisor.retries then begin
+          let te =
+            {
+              Supervisor.te_round = round;
+              te_slot = slot;
+              te_kind = Supervisor.Worker_death;
+              te_attempts = tries;
+              te_detail = "worker domain died while running this experiment";
+              te_backtrace = "";
+            }
+          in
+          out.(i) <- C_poison te;
+          finish ~slot ~fresh:true (C_poison te)
+        end
+        else Mutex.protect rq_lock (fun () -> requeued := i :: !requeued)
+      in
+      (* joins one worker; a worker that died (rather than returned) has
+         its in-flight slot requeued or quarantined, and is respawned to
+         drain whatever work remains *)
+      let rec join_worker wid d =
+        match Domain.join d with
+        | () -> ()
+        | exception _ ->
+            Supervisor.note_death s;
+            let i = inflight.(wid) in
+            inflight.(wid) <- -1;
+            if i >= 0 then requeue_or_quarantine i;
+            join_worker wid (Domain.spawn (worker wid))
+      in
+      Array.iteri join_worker (Array.init jobs (fun wid -> Domain.spawn (worker wid))));
+  out
 
 (** Runs a pre-drawn experiment list.  [redraw] supplies replacements for
     [Not_reached] experiments (drawn between rounds, on the calling
@@ -373,15 +539,18 @@ let run_batch ~(jobs : int) ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.resu
     array) enables snapshot fast-forward: each experiment resumes from the
     latest golden snapshot preceding its injection site instead of
     replaying the whole fault-free prefix — outcomes are bit-identical
-    either way. *)
-let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||]) ?recorder
-    ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
+    either way.  [supervise] runs every experiment under a {!Supervisor};
+    [chaos] (test-only, requires [supervise]) injects harness failures;
+    [cancel] stops the campaign at the next experiment boundary. *)
+let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||]) ?recorder ?supervise
+    ?(chaos = []) ?cancel ~(spec : Fault.run_spec) ~(golden : Cpu.Machine.result)
     (exps : Fault.experiment array) : report =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let n = Array.length exps in
   let max_instrs = Fault.hang_budget ~golden spec in
   let key = ck_key ~golden exps in
   let spans = match recorder with Some r -> r | None -> Obs.Span.make () in
+  let cancelled () = match cancel with Some c -> Atomic.get c | None -> false in
   let shared =
     {
       mutex = Mutex.create ();
@@ -393,62 +562,92 @@ let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||]) ?recorder
       cycles = 0;
       executed = 0;
       restored = 0;
+      quarantined = 0;
       ck_pending = [];
       since_save = 0;
+      progress_warned = false;
     }
   in
+  let sup = Option.map (fun c -> Supervisor.start ?cancel c ~jobs) supervise in
   (* the whole batch-execution phase — including checkpoint load/replay
-     and the final fold — runs under the "exec" span *)
-  let outcomes =
-    Obs.Span.time spans "exec" (fun () ->
-        let ck_tbl, resume_at =
-          match checkpoint with
-          | Some path -> ck_load path ~key
-          | None -> (Hashtbl.create 1, None)
-        in
-        let writer =
-          Option.map (fun path -> ck_open path ~key resume_at) checkpoint
-        in
-        (* an interrupted campaign must keep its checkpoint (that is the
-           point of having one), but not a dangling open channel *)
-        Fun.protect
-          ~finally:(fun () -> Option.iter ck_close writer)
-          (fun () ->
-            let final = Array.make n None in
-            let pending = ref (Array.mapi (fun i e -> (i, e)) exps) in
-            let round = ref 0 in
-            while Array.length !pending > 0 do
-              let batch = !pending in
-              let results =
-                run_batch ~jobs ~spec ~golden ~snapshots ~max_instrs ~round:!round
-                  ~ck_tbl ~writer ~spans ~shared ~progress batch
-              in
-              let next = ref [] in
-              (* batch is in ascending plan-slot order (invariant below), so
-                 redraws happen in slot order: the RNG consumption is
-                 reproducible *)
-              Array.iteri
-                (fun i (o : Fault.obs) ->
-                  let slot, e = batch.(i) in
-                  match o.Fault.o_outcome with
-                  | Fault.Not_reached ->
-                      if !round < max_rounds - 1 then begin
-                        match redraw with
-                        | Some d -> next := (slot, d ()) :: !next
-                        | None -> ()
-                      end
-                  | _ -> final.(slot) <- Some (e, o))
-                results;
-              pending := Array.of_list (List.rev !next);
-              if !pending <> [||] then
-                Mutex.protect shared.mutex (fun () ->
-                    shared.total <- shared.total + Array.length !pending);
-              incr round
-            done;
-            Array.of_list (List.filter_map (fun x -> x) (Array.to_list final))))
+     and the final fold — runs under the "exec" span; the supervisor's
+     watchdog domain is joined however the phase exits *)
+  let outcomes, quarantined =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Supervisor.stop sup)
+      (fun () ->
+        Obs.Span.time spans "exec" (fun () ->
+            let ck_tbl, ck_poison, resume_at =
+              match checkpoint with
+              | Some path -> ck_load path ~key
+              | None -> (Hashtbl.create 1, Hashtbl.create 1, None)
+            in
+            let writer =
+              Option.map (fun path -> ck_open path ~key resume_at) checkpoint
+            in
+            (* an interrupted campaign must keep its checkpoint (that is
+               the point of having one) — with every buffered record
+               flushed, and no dangling open channel *)
+            Fun.protect
+              ~finally:(fun () ->
+                match writer with
+                | None -> ()
+                | Some w ->
+                    let recs =
+                      Mutex.protect shared.mutex (fun () ->
+                          let r = shared.ck_pending in
+                          shared.ck_pending <- [];
+                          shared.since_save <- 0;
+                          r)
+                    in
+                    if recs <> [] then ck_append w ~spans recs;
+                    ck_close w)
+              (fun () ->
+                let final = Array.make n None in
+                let poison = Array.make n None in
+                let pending = ref (Array.mapi (fun i e -> (i, e)) exps) in
+                let round = ref 0 in
+                while Array.length !pending > 0 && not (cancelled ()) do
+                  let batch = !pending in
+                  let cells =
+                    run_batch ~jobs ~spec ~golden ~snapshots ~max_instrs
+                      ~round:!round ~ck_tbl ~ck_poison ~writer ~spans ~shared
+                      ~progress ~sup ~chaos ~cancel batch
+                  in
+                  let next = ref [] in
+                  (* batch is in ascending plan-slot order (invariant
+                     below), so redraws happen in slot order: the RNG
+                     consumption is reproducible *)
+                  Array.iteri
+                    (fun i (c : cell) ->
+                      let slot, e = batch.(i) in
+                      match c with
+                      | C_obs o -> (
+                          match o.Fault.o_outcome with
+                          | Fault.Not_reached ->
+                              if !round < max_rounds - 1 then begin
+                                match redraw with
+                                | Some d -> next := (slot, d ()) :: !next
+                                | None -> ()
+                              end
+                          | _ -> final.(slot) <- Some (e, o))
+                      | C_poison te -> poison.(slot) <- Some te
+                      | C_none -> ())
+                    cells;
+                  pending := Array.of_list (List.rev !next);
+                  if !pending <> [||] then
+                    Mutex.protect shared.mutex (fun () ->
+                        shared.total <- shared.total + Array.length !pending);
+                  incr round
+                done;
+                ( Array.of_list (List.filter_map (fun x -> x) (Array.to_list final)),
+                  List.filter_map (fun x -> x) (Array.to_list poison) ))))
   in
+  let interrupted = cancelled () && shared.completed < shared.total in
   (match checkpoint with
-  | Some path -> if Sys.file_exists path then ( try Sys.remove path with Sys_error _ -> ())
+  | Some path ->
+      if (not interrupted) && Sys.file_exists path then (
+        try Sys.remove path with Sys_error _ -> ())
   | None -> ());
   Obs.Span.add_cycles spans "exec" shared.cycles;
   let stats =
@@ -464,6 +663,9 @@ let run ?jobs ?progress ?checkpoint ?redraw ?(snapshots = [||]) ?recorder
     experiments_run = shared.executed;
     restored = shared.restored;
     not_reached = shared.nreach;
+    quarantined;
+    worker_deaths = (match sup with Some s -> Supervisor.worker_deaths s | None -> 0);
+    interrupted;
     jobs;
     spans = Obs.Span.rows spans;
   }
@@ -501,7 +703,7 @@ let campaign_golden ?spans ~(fast_forward : bool) (spec : Fault.run_spec) :
 
 (* A full campaign of [n] independent single-bit injections. *)
 let single ?(seed = 42) ?(n = 300) ?jobs ?progress ?checkpoint ?(fast_forward = true)
-    (spec : Fault.run_spec) : report =
+    ?supervise ?chaos ?cancel (spec : Fault.run_spec) : report =
   let recorder = Obs.Span.make () in
   let g, snapshots = campaign_golden ~spans:recorder ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
@@ -509,12 +711,13 @@ let single ?(seed = 42) ?(n = 300) ?jobs ?progress ?checkpoint ?(fast_forward = 
   let rng = Random.State.make [| seed |] in
   let draw () = draw_single rng ~sites in
   let exps = Obs.Span.time recorder "plan" (fun () -> plan ~n draw) in
-  run ?jobs ?progress ?checkpoint ~snapshots ~recorder ~redraw:draw ~spec ~golden:g exps
+  run ?jobs ?progress ?checkpoint ?supervise ?chaos ?cancel ~snapshots ~recorder
+    ~redraw:draw ~spec ~golden:g exps
 
 (* Campaign of double-bit faults; [same_bit] flips the same bit in two
    different lanes (two replicas agreeing on a wrong value). *)
 let double ?(seed = 43) ?(n = 150) ?(same_bit = true) ?jobs ?progress ?checkpoint
-    ?(fast_forward = true) (spec : Fault.run_spec) : report =
+    ?(fast_forward = true) ?supervise ?chaos ?cancel (spec : Fault.run_spec) : report =
   let recorder = Obs.Span.make () in
   let g, snapshots = campaign_golden ~spans:recorder ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
@@ -522,14 +725,16 @@ let double ?(seed = 43) ?(n = 150) ?(same_bit = true) ?jobs ?progress ?checkpoin
   let rng = Random.State.make [| seed |] in
   let draw () = draw_double ~same_bit rng ~sites in
   let exps = Obs.Span.time recorder "plan" (fun () -> plan ~n draw) in
-  run ?jobs ?progress ?checkpoint ~snapshots ~recorder ~redraw:draw ~spec ~golden:g exps
+  run ?jobs ?progress ?checkpoint ?supervise ?chaos ?cancel ~snapshots ~recorder
+    ~redraw:draw ~spec ~golden:g exps
 
 (* Campaign under a fault-model axis: reg (same as {!single}), mem, addr,
    cf, or mixed.  The site streams come from the golden run's counters;
    models whose stream is empty for this build (e.g. cf on a branch-free
    kernel) are rejected up front rather than silently degenerating. *)
 let model_campaign ?(seed = 44) ?(n = 300) ?jobs ?progress ?checkpoint
-    ?(fast_forward = true) ~(model : Fault.model) (spec : Fault.run_spec) : report =
+    ?(fast_forward = true) ?supervise ?chaos ?cancel ~(model : Fault.model)
+    (spec : Fault.run_spec) : report =
   let recorder = Obs.Span.make () in
   let g, snapshots = campaign_golden ~spans:recorder ~fast_forward spec in
   let sites = g.Cpu.Machine.inject_sites in
@@ -548,13 +753,20 @@ let model_campaign ?(seed = 44) ?(n = 300) ?jobs ?progress ?checkpoint
   let rng = Random.State.make [| seed; Hashtbl.hash (Fault.model_to_string model) |] in
   let draw () = draw_model rng ~model ~sites ~mem_sites ~branch_sites in
   let exps = Obs.Span.time recorder "plan" (fun () -> plan ~n draw) in
-  run ?jobs ?progress ?checkpoint ~snapshots ~recorder ~redraw:draw ~spec ~golden:g exps
+  run ?jobs ?progress ?checkpoint ?supervise ?chaos ?cancel ~snapshots ~recorder
+    ~redraw:draw ~spec ~golden:g exps
 
 (* One-line observability summary for bench tables. *)
 let pp_totals fmt (r : report) =
-  Format.fprintf fmt "%d runs, %.1fs wall, %.2f Gcycles simulated, %d jobs%s%s" r.experiments_run
-    r.wall_seconds
+  Format.fprintf fmt "%d runs, %.1fs wall, %.2f Gcycles simulated, %d jobs%s%s%s%s%s"
+    r.experiments_run r.wall_seconds
     (float_of_int r.cycles_simulated /. 1e9)
     r.jobs
     (if r.restored > 0 then Printf.sprintf ", %d restored from checkpoint" r.restored else "")
     (if r.not_reached > 0 then Printf.sprintf ", %d not-reached redrawn" r.not_reached else "")
+    (if r.quarantined <> [] then
+       Printf.sprintf ", %d quarantined" (List.length r.quarantined)
+     else "")
+    (if r.worker_deaths > 0 then Printf.sprintf ", %d worker deaths" r.worker_deaths
+     else "")
+    (if r.interrupted then ", interrupted" else "")

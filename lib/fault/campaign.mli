@@ -5,8 +5,10 @@
     own simulated machines), folds outcomes back in plan order — so for a
     fixed seed the statistics are bit-identical for any worker count —
     and discards-and-redraws experiments whose injection site was never
-    reached.  Supports running-counter/ETA progress reporting and
-    checkpoint/resume of interrupted campaigns. *)
+    reached.  Supports running-counter/ETA progress reporting,
+    checkpoint/resume of interrupted campaigns, and supervised execution
+    ({!Supervisor}): retry/quarantine of host failures, a wall-clock
+    watchdog, worker-death respawn, and cooperative cancellation. *)
 
 (** [Domain.recommended_domain_count ()]: the pool width used when [jobs]
     is not given. *)
@@ -41,11 +43,17 @@ type progress = {
   restored : int;
       (** of [completed], how many were replayed from a checkpoint rather
           than executed — they finish instantly, so [eta] is computed from
-          the executed-only rate ([elapsed / (completed - restored)]) *)
+          the executed-only rate *)
   elapsed : float;  (** seconds since the campaign started *)
-  eta : float;  (** estimated seconds to completion *)
+  eta : float;
+      (** estimated seconds to completion.  [nan] while no experiment has
+          actually executed yet (e.g. the checkpoint-replay prefix of a
+          resumed campaign): there is no execution rate to extrapolate
+          from, and callers should render the ETA as unknown. *)
   running : Fault.stats;  (** per-outcome running counters *)
   not_reached : int;  (** discarded so far *)
+  quarantined : int;
+      (** experiments the supervisor gave up on (0 when unsupervised) *)
 }
 
 type report = {
@@ -59,27 +67,45 @@ type report = {
   experiments_run : int;  (** injection runs executed, including redraws *)
   restored : int;  (** experiments replayed from the checkpoint *)
   not_reached : int;  (** runs discarded because the site was not reached *)
+  quarantined : Supervisor.tool_error list;
+      (** experiments the supervisor quarantined (host exception on every
+          retry, repeated watchdog deadline, repeated worker death), in
+          plan-slot order.  Excluded from [stats]/[outcomes]: supervision
+          may shrink the sample, never skew it.  Persisted in the
+          checkpoint, so a resumed campaign never re-executes them.
+          Always [[]] when [supervise] was not given. *)
+  worker_deaths : int;
+      (** worker domains that died and were respawned (supervised only) *)
+  interrupted : bool;
+      (** the [cancel] flag stopped the campaign before every planned
+          experiment completed; the checkpoint file (if any) was kept for
+          a resume *)
   jobs : int;
   spans : Obs.Span.row list;
       (** phase spans: where the campaign's wall time went.  Top-level
           phases ("golden", "plan", "exec") tile the campaign; nested
           regions ("golden/snapshot", "exec/restore", "exec/checkpoint")
           break down captures, fast-forward restores and checkpoint I/O.
-          Wall times are non-deterministic; everything else in the report
-          above is bit-identical for any worker count. *)
+          Wall times (and [worker_deaths]/[interrupted]) are
+          non-deterministic; everything else in the report above is
+          bit-identical for any worker count, with or without
+          supervision, for the experiments that completed. *)
 }
 
 (** [run ?jobs ?progress ?checkpoint ?redraw ~spec ~golden exps] runs a
     pre-drawn experiment list and returns the campaign report.
 
     - [jobs]: worker-domain count (default {!default_jobs}; [1] runs
-      serially on the calling domain).
+      serially on the calling domain — except under [supervise], which
+      always spawns worker domains so a worker death can never take down
+      the caller).
     - [progress]: called after every completed experiment, serialized
-      under the engine lock.
+      under the engine lock.  Exception-safe: a raising callback warns
+      once on stderr and the campaign carries on.
     - [checkpoint]: file used to persist completed experiments every few
       runs; if it already holds results for this exact campaign (plan +
       golden run), they are restored instead of re-executed, and the file
-      is removed once the campaign completes.
+      is removed once the campaign completes (kept when [interrupted]).
     - [redraw]: supplies replacement experiments for [Not_reached] runs;
       called between rounds on the calling domain in plan-slot order, so
       RNG-based redraws stay deterministic.  Without it, unreached
@@ -92,7 +118,17 @@ type report = {
     - [recorder]: a span recorder to fold the execution phases into
       (campaign entry points pass the one that already timed their golden
       and planning phases); without it a fresh recorder covers just this
-      call.  Either way the rows end up in [report.spans]. *)
+      call.  Either way the rows end up in [report.spans].
+    - [supervise]: run every experiment under a {!Supervisor} with this
+      configuration — host exceptions are retried then quarantined,
+      runaway runs are aborted by a wall-clock watchdog, dead worker
+      domains are respawned.
+    - [chaos]: test-only harness-failure injection plan; only acts under
+      [supervise].
+    - [cancel]: cooperative cancellation flag.  Once set (e.g. from a
+      signal handler), in-flight experiments finish (or, under
+      [supervise], are aborted at the next quantum boundary), no new ones
+      start, and the report comes back with [interrupted = true]. *)
 val run :
   ?jobs:int ->
   ?progress:(progress -> unit) ->
@@ -100,6 +136,9 @@ val run :
   ?redraw:(unit -> Fault.experiment) ->
   ?snapshots:Cpu.Machine.snapshot array ->
   ?recorder:Obs.Span.t ->
+  ?supervise:Supervisor.config ->
+  ?chaos:Supervisor.chaos_plan ->
+  ?cancel:bool Atomic.t ->
   spec:Fault.run_spec ->
   golden:Cpu.Machine.result ->
   Fault.experiment array ->
@@ -109,8 +148,9 @@ val run :
     single-bit injections.  [fast_forward] (default [true]) captures
     snapshots during the golden run and starts every injection run from
     the latest snapshot preceding its site; the report is bit-identical
-    either way.  @raise Invalid_argument if [spec] has no hardened code to
-    inject into. *)
+    either way.  [supervise]/[chaos]/[cancel] as in {!run}.
+    @raise Invalid_argument if [spec] has no hardened code to inject
+    into. *)
 val single :
   ?seed:int ->
   ?n:int ->
@@ -118,6 +158,9 @@ val single :
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
   ?fast_forward:bool ->
+  ?supervise:Supervisor.config ->
+  ?chaos:Supervisor.chaos_plan ->
+  ?cancel:bool Atomic.t ->
   Fault.run_spec ->
   report
 
@@ -132,6 +175,9 @@ val double :
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
   ?fast_forward:bool ->
+  ?supervise:Supervisor.config ->
+  ?chaos:Supervisor.chaos_plan ->
+  ?cancel:bool Atomic.t ->
   Fault.run_spec ->
   report
 
@@ -150,6 +196,9 @@ val model_campaign :
   ?progress:(progress -> unit) ->
   ?checkpoint:string ->
   ?fast_forward:bool ->
+  ?supervise:Supervisor.config ->
+  ?chaos:Supervisor.chaos_plan ->
+  ?cancel:bool Atomic.t ->
   model:Fault.model ->
   Fault.run_spec ->
   report

@@ -98,8 +98,17 @@ val classify : golden:Cpu.Machine.result -> Cpu.Machine.result -> outcome
 
 (** Runs one experiment and returns the raw machine result (outcome via
     {!classify}; simulated cycles via [wall_cycles]).  [max_instrs]
-    overrides the spec's budget — campaigns pass {!hang_budget}. *)
-val run_experiment : ?max_instrs:int -> run_spec -> experiment -> Cpu.Machine.result
+    overrides the spec's budget — campaigns pass {!hang_budget}.  [abort]
+    and [chaos] are threaded into the machine config verbatim (the
+    supervision hooks of {!Cpu.Machine.config}); a run that was never
+    aborted is bit-identical with or without them. *)
+val run_experiment :
+  ?max_instrs:int ->
+  ?abort:(unit -> bool) ->
+  ?chaos:(unit -> unit) ->
+  run_spec ->
+  experiment ->
+  Cpu.Machine.result
 
 (** {!run_experiment}, fast-forwarded: restores the latest of [snapshots]
     (a {!golden_capture} array) whose site-stream counter for the
@@ -113,6 +122,8 @@ val run_experiment : ?max_instrs:int -> run_spec -> experiment -> Cpu.Machine.re
 val run_experiment_from :
   ?max_instrs:int ->
   ?spans:Obs.Span.t ->
+  ?abort:(unit -> bool) ->
+  ?chaos:(unit -> unit) ->
   snapshots:Cpu.Machine.snapshot array ->
   run_spec ->
   experiment ->

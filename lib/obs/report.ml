@@ -4,7 +4,9 @@
 
 module J = Obs.Json
 
-let version = 1
+(* v2: campaign results gained "quarantined"/"tool_errors" (supervised
+   execution), campaign timing gained "worker_deaths"/"interrupted". *)
+let version = 2
 
 let versioned ~(schema : string) (fields : (string * J.t) list) : J.t =
   J.Obj (("schema", J.Str schema) :: ("version", J.Int version) :: fields)
@@ -99,6 +101,19 @@ let profile (p : Cpu.Profile.t) : J.t =
            ])
        (Cpu.Profile.rows p))
 
+(* One quarantine record.  Deterministic fields only: the backtrace is
+   host-run-dependent noise and stays out of the results block (it is
+   still printed to stderr by the CLI). *)
+let tool_error (te : Supervisor.tool_error) : J.t =
+  J.Obj
+    [
+      ("round", J.Int te.Supervisor.te_round);
+      ("slot", J.Int te.Supervisor.te_slot);
+      ("kind", J.Str (Supervisor.error_kind_to_string te.Supervisor.te_kind));
+      ("attempts", J.Int te.Supervisor.te_attempts);
+      ("detail", J.Str te.Supervisor.te_detail);
+    ]
+
 let campaign_results (r : Campaign.report) : J.t =
   let obs = Array.map snd r.Campaign.outcomes in
   J.Obj
@@ -107,6 +122,10 @@ let campaign_results (r : Campaign.report) : J.t =
       ("avf", avf (Fault.avf_table obs));
       ("latency", latency obs);
       ("not_reached", J.Int r.Campaign.not_reached);
+      (* always rendered (0/[] when unsupervised): a supervised chaos-free
+         campaign's results block is bit-identical to an unsupervised one *)
+      ("quarantined", J.Int (List.length r.Campaign.quarantined));
+      ("tool_errors", J.List (List.map tool_error r.Campaign.quarantined));
     ]
 
 let campaign ?(params = []) (r : Campaign.report) : J.t =
@@ -122,6 +141,8 @@ let campaign ?(params = []) (r : Campaign.report) : J.t =
             ("experiments_run", J.Int r.Campaign.experiments_run);
             ("restored", J.Int r.Campaign.restored);
             ("jobs", J.Int r.Campaign.jobs);
+            ("worker_deaths", J.Int r.Campaign.worker_deaths);
+            ("interrupted", J.Bool r.Campaign.interrupted);
           ] );
       ("spans", spans r.Campaign.spans);
     ]

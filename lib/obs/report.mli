@@ -40,14 +40,19 @@ val spans : Obs.Span.row list -> Obs.Json.t
 val profile : Cpu.Profile.t -> Obs.Json.t
 
 (** The deterministic sections of a campaign report: stats, outcome
-    histogram, AVF table, latency histogram.  Bit-identical for any
-    worker count, with or without fast-forward or checkpoint resume. *)
+    histogram, AVF table, latency histogram, and (since version 2) the
+    quarantine count and tool-error records of supervised execution —
+    rendered as [0]/[[]] when unsupervised, so the block stays
+    bit-identical with supervision on or off.  Bit-identical for any
+    worker count, with or without fast-forward or checkpoint resume
+    (quarantine backtraces, which vary host to host, are excluded). *)
 val campaign_results : Campaign.report -> Obs.Json.t
 
 (** Full campaign document (schema ["elzar.campaign"]): [params] (caller
     context such as workload/build/seed), the deterministic
-    {!campaign_results}, and the run-variant ["timing"] and ["spans"]
-    sections. *)
+    {!campaign_results}, and the run-variant ["timing"] (including the
+    version-2 ["worker_deaths"]/["interrupted"] supervision fields) and
+    ["spans"] sections. *)
 val campaign : ?params:(string * Obs.Json.t) list -> Campaign.report -> Obs.Json.t
 
 (** Single-run document (schema ["elzar.run"]): wall cycles, counter

@@ -18,4 +18,5 @@ let () =
       ("workloads", Test_workloads.tests);
       ("characteristics", Test_characteristics.tests);
       ("obs", Test_obs.tests);
+      ("supervisor", Test_supervisor.tests);
     ]

@@ -117,24 +117,22 @@ let test_not_reached () =
   check_bool "Not_reached does not dilute stats" true
     (Fault.add_outcome Fault.empty_stats Fault.Not_reached = Fault.empty_stats)
 
-(* Interrupt a checkpointed campaign partway, then resume it: the resumed
-   run must restore the completed experiments instead of re-executing them
-   and end with exactly the stats of an uninterrupted run. *)
+(* Interrupt a checkpointed campaign partway (via the cancellation flag),
+   then resume it: the resumed run must restore the completed experiments
+   instead of re-executing them and end with exactly the stats of an
+   uninterrupted run. *)
 let test_checkpoint_resume () =
   let spec = spec_of (Elzar.Hardened Elzar.Harden_config.default) in
   let path = Filename.temp_file "elzar_campaign" ".ck" in
   Sys.remove path;
   let baseline = Campaign.single ~seed:21 ~n:40 ~jobs:1 spec in
-  let interrupted =
-    match
-      Campaign.single ~seed:21 ~n:40 ~jobs:1 ~checkpoint:path
-        ~progress:(fun p -> if p.Campaign.completed >= 35 then raise Exit)
-        spec
-    with
-    | _ -> false
-    | exception Exit -> true
+  let cancel = Atomic.make false in
+  let partial =
+    Campaign.single ~seed:21 ~n:40 ~jobs:1 ~checkpoint:path ~cancel
+      ~progress:(fun p -> if p.Campaign.completed >= 35 then Atomic.set cancel true)
+      spec
   in
-  check_bool "campaign interrupted" true interrupted;
+  check_bool "campaign interrupted" true partial.Campaign.interrupted;
   check_bool "checkpoint file written" true (Sys.file_exists path);
   let resumed = Campaign.single ~seed:21 ~n:40 ~jobs:1 ~checkpoint:path spec in
   check_bool "resumed campaign matches uninterrupted stats" true

@@ -242,20 +242,22 @@ let test_span_coverage () =
 (* ---- progress/checkpoint accounting ---- *)
 
 (* The resumed-campaign ETA bug: restored experiments finish instantly, so
-   the completion rate must come from executed runs only.  Interrupt a
-   checkpointed campaign, resume it, and check every progress record uses
-   the executed-only rate. *)
+   the completion rate must come from executed runs only — and while the
+   replay prefix is still running (zero executed experiments) there is no
+   rate at all, so the ETA must be [nan], never a number extrapolated from
+   instant restores.  Interrupt a checkpointed campaign, resume it, and
+   check every progress record. *)
 let test_resume_eta_uses_executed_rate () =
   let spec = spec () in
   let path = Filename.temp_file "elzar_obs_eta" ".ck" in
   Sys.remove path;
-  (match
-     Campaign.single ~seed:23 ~n:40 ~jobs:1 ~checkpoint:path
-       ~progress:(fun p -> if p.Campaign.completed >= 35 then raise Exit)
-       spec
-   with
-  | _ -> Alcotest.fail "campaign was not interrupted"
-  | exception Exit -> ());
+  let cancel = Atomic.make false in
+  let partial =
+    Campaign.single ~seed:23 ~n:40 ~jobs:1 ~checkpoint:path ~cancel
+      ~progress:(fun p -> if p.Campaign.completed >= 35 then Atomic.set cancel true)
+      spec
+  in
+  check_bool "campaign interrupted" true partial.Campaign.interrupted;
   check_bool "checkpoint written" true (Sys.file_exists path);
   let records = ref [] in
   let _ =
@@ -267,18 +269,29 @@ let test_resume_eta_uses_executed_rate () =
     List.filter (fun (p : Campaign.progress) -> p.Campaign.restored > 0) !records
   in
   check_bool "resume restored experiments" true (resumed <> []);
+  check_bool "replay prefix has executed-free records" true
+    (List.exists
+       (fun (p : Campaign.progress) -> p.Campaign.completed = p.Campaign.restored)
+       resumed);
   List.iter
     (fun (p : Campaign.progress) ->
+      (* unsupervised resume: quarantined = 0, so executed is just
+         completed - restored *)
       let executed = p.Campaign.completed - p.Campaign.restored in
-      let expected =
-        p.Campaign.elapsed
-        /. float_of_int (max 1 executed)
-        *. float_of_int (p.Campaign.total - p.Campaign.completed)
-      in
-      if Float.abs (p.Campaign.eta -. expected) > 1e-6 then
-        Alcotest.failf
-          "eta %.6f but executed-only rate gives %.6f (completed %d, restored %d)"
-          p.Campaign.eta expected p.Campaign.completed p.Campaign.restored)
+      if executed = 0 then (
+        if not (Float.is_nan p.Campaign.eta) then
+          Alcotest.failf "eta %.6f on a record with no executed runs (want nan)"
+            p.Campaign.eta)
+      else
+        let expected =
+          p.Campaign.elapsed
+          /. float_of_int executed
+          *. float_of_int (p.Campaign.total - p.Campaign.completed)
+        in
+        if Float.abs (p.Campaign.eta -. expected) > 1e-6 then
+          Alcotest.failf
+            "eta %.6f but executed-only rate gives %.6f (completed %d, restored %d)"
+            p.Campaign.eta expected p.Campaign.completed p.Campaign.restored)
     resumed
 
 (* A checkpoint path that can never be opened must not kill the campaign:

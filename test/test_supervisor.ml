@@ -1,0 +1,309 @@
+(* Supervised campaign execution tests: every chaos path end-to-end
+   against the real engine (host-exception retry/quarantine, watchdog
+   deadlines, worker-domain death and respawn), quarantine persistence
+   across checkpoint resume, bit-identity of the deterministic results
+   with supervision on/off and for any worker count, cooperative
+   cancellation, and the supervisor's deadline arithmetic.
+
+   The workload is Test_fault's pure-compute kernel: a single
+   deterministic path whose injection sites are all always reached, so a
+   campaign of [n] experiments yields exactly [n] outcomes in plan-slot
+   order (no Not_reached redraws).  That makes the strongest assertion
+   cheap: quarantining slot [s] must yield precisely the baseline
+   outcomes with index [s] removed. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let spec () = Test_fault.spec_of (Elzar.Hardened Elzar.Harden_config.default)
+
+(* Tight watchdog knobs for the deadline tests: cold-start deadline
+   factor x floor = 0.4 s, so a hung run is cut off quickly. *)
+let tight =
+  { Supervisor.default with Supervisor.deadline_factor = 2.0; deadline_floor = 0.2 }
+
+let baseline_report =
+  (* one unsupervised jobs=1 run, shared by the comparisons below *)
+  let r = lazy (Campaign.single ~seed:51 ~n:16 ~jobs:1 (spec ())) in
+  fun () -> Lazy.force r
+
+(* Baseline outcomes with the given plan slots removed: what a campaign
+   that quarantined exactly those slots must report. *)
+let outcomes_without slots =
+  let b = (baseline_report ()).Campaign.outcomes in
+  Array.of_list
+    (List.filteri (fun i _ -> not (List.mem i slots)) (Array.to_list b))
+
+let results_equal (r : Campaign.report) (expect : (Fault.experiment * Fault.obs) array)
+    =
+  r.Campaign.outcomes = expect
+  && r.Campaign.stats
+     = Array.fold_left
+         (fun s (_, o) -> Fault.add_outcome s o.Fault.o_outcome)
+         Fault.empty_stats expect
+
+(* ---- supervision off vs on: bit-identical results at any job count ---- *)
+
+let test_supervised_matches_unsupervised () =
+  let b = baseline_report () in
+  check_int "baseline has no discards" 16 (Array.length b.Campaign.outcomes);
+  List.iter
+    (fun jobs ->
+      let r =
+        Campaign.single ~seed:51 ~n:16 ~jobs ~supervise:Supervisor.default (spec ())
+      in
+      check_bool
+        (Printf.sprintf "supervised jobs=%d matches unsupervised" jobs)
+        true
+        (r.Campaign.stats = b.Campaign.stats
+        && r.Campaign.outcomes = b.Campaign.outcomes);
+      check_bool "nothing quarantined" true (r.Campaign.quarantined = []);
+      check_int "no worker deaths" 0 r.Campaign.worker_deaths;
+      check_bool "not interrupted" false r.Campaign.interrupted)
+    [ 1; 2; 4 ]
+
+(* ---- host exception on the Nth experiment: retried, then clean ---- *)
+
+let test_chaos_raise_retried () =
+  let c = Supervisor.chaos ~slot:3 Supervisor.Chaos_raise in
+  let r =
+    Campaign.single ~seed:51 ~n:16 ~jobs:1 ~supervise:Supervisor.default
+      ~chaos:[ c ] (spec ())
+  in
+  (* one-shot: the first execution raised, the deterministic re-execution
+     succeeded, and nothing reached the report *)
+  check_int "slot executed twice" 2 (Supervisor.chaos_hits c);
+  check_bool "report identical to chaos-free baseline" true
+    (results_equal r (baseline_report ()).Campaign.outcomes);
+  check_bool "no quarantine" true (r.Campaign.quarantined = [])
+
+(* ---- host exception on every attempt: quarantined, campaign continues ---- *)
+
+let test_chaos_raise_persistent_quarantines () =
+  let c = Supervisor.chaos ~persistent:true ~slot:2 Supervisor.Chaos_raise in
+  let r =
+    Campaign.single ~seed:51 ~n:16 ~jobs:1 ~supervise:Supervisor.default
+      ~chaos:[ c ] (spec ())
+  in
+  (match r.Campaign.quarantined with
+  | [ te ] ->
+      check_bool "kind" true (te.Supervisor.te_kind = Supervisor.Host_exception);
+      check_int "slot" 2 te.Supervisor.te_slot;
+      check_int "attempts = 1 + retries" 3 te.Supervisor.te_attempts;
+      check_bool "detail names the exception" true
+        (te.Supervisor.te_detail = "Test_supervisor.Supervisor.Chaos_failure"
+        || String.length te.Supervisor.te_detail > 0)
+  | l -> Alcotest.failf "expected 1 quarantine, got %d" (List.length l));
+  check_int "all attempts consumed" 3 (Supervisor.chaos_hits c);
+  check_bool "other 15 outcomes unaffected" true (results_equal r (outcomes_without [ 2 ]))
+
+(* ---- wall-clock runaway: watchdog aborts twice, then quarantines ---- *)
+
+let test_chaos_hang_deadline () =
+  let c = Supervisor.chaos ~persistent:true ~slot:1 Supervisor.Chaos_hang in
+  let r = Campaign.single ~seed:51 ~n:16 ~jobs:1 ~supervise:tight ~chaos:[ c ] (spec ()) in
+  (match r.Campaign.quarantined with
+  | [ te ] ->
+      check_bool "kind" true (te.Supervisor.te_kind = Supervisor.Deadline);
+      check_int "slot" 1 te.Supervisor.te_slot;
+      check_int "aborted twice" 2 te.Supervisor.te_attempts
+  | l -> Alcotest.failf "expected 1 deadline quarantine, got %d" (List.length l));
+  check_bool "other 15 outcomes unaffected" true (results_equal r (outcomes_without [ 1 ]))
+
+(* ---- transient hang: aborted once, retried clean ---- *)
+
+let test_chaos_hang_once_retried () =
+  let c = Supervisor.chaos ~slot:6 Supervisor.Chaos_hang in
+  let r = Campaign.single ~seed:51 ~n:16 ~jobs:1 ~supervise:tight ~chaos:[ c ] (spec ()) in
+  check_bool "report identical to chaos-free baseline" true
+    (results_equal r (baseline_report ()).Campaign.outcomes);
+  check_bool "no quarantine" true (r.Campaign.quarantined = [])
+
+(* ---- slow experiment: finishes within its deadline, untouched ---- *)
+
+let test_chaos_slow_tolerated () =
+  let c = Supervisor.chaos ~slot:4 (Supervisor.Chaos_slow 0.05) in
+  let r =
+    (* floor 0.5 s: the 50 ms stall stays well inside every deadline *)
+    Campaign.single ~seed:51 ~n:16 ~jobs:1
+      ~supervise:{ tight with Supervisor.deadline_floor = 0.5 }
+      ~chaos:[ c ] (spec ())
+  in
+  check_int "slot executed once" 1 (Supervisor.chaos_hits c);
+  check_bool "report identical to chaos-free baseline" true
+    (results_equal r (baseline_report ()).Campaign.outcomes);
+  check_bool "no quarantine" true (r.Campaign.quarantined = [])
+
+(* ---- worker-domain death: detected, slot requeued, worker respawned ---- *)
+
+let test_chaos_kill_respawn () =
+  (* one-shot kill: the worker dies, the slot is requeued and succeeds on
+     its second execution — the report must not show a trace of it *)
+  let c = Supervisor.chaos ~slot:5 Supervisor.Chaos_kill in
+  let r =
+    Campaign.single ~seed:51 ~n:16 ~jobs:2 ~supervise:Supervisor.default
+      ~chaos:[ c ] (spec ())
+  in
+  check_int "one worker death" 1 r.Campaign.worker_deaths;
+  check_bool "report identical to chaos-free baseline" true
+    (results_equal r (baseline_report ()).Campaign.outcomes);
+  check_bool "no quarantine" true (r.Campaign.quarantined = [])
+
+let test_chaos_kill_persistent_quarantines () =
+  let c = Supervisor.chaos ~persistent:true ~slot:0 Supervisor.Chaos_kill in
+  let r =
+    Campaign.single ~seed:51 ~n:16 ~jobs:2 ~supervise:Supervisor.default
+      ~chaos:[ c ] (spec ())
+  in
+  (match r.Campaign.quarantined with
+  | [ te ] ->
+      check_bool "kind" true (te.Supervisor.te_kind = Supervisor.Worker_death);
+      check_int "slot" 0 te.Supervisor.te_slot;
+      check_int "died on every allowed execution" 3 te.Supervisor.te_attempts
+  | l -> Alcotest.failf "expected 1 worker-death quarantine, got %d" (List.length l));
+  check_int "three worker deaths" 3 r.Campaign.worker_deaths;
+  check_bool "other 15 outcomes unaffected" true (results_equal r (outcomes_without [ 0 ]))
+
+(* ---- mixed chaos storm, any worker count: campaign completes in
+   degraded mode with the same results block everywhere ---- *)
+
+let test_chaos_storm_worker_invariant () =
+  let run jobs =
+    Campaign.single ~seed:51 ~n:16 ~jobs ~supervise:tight
+      ~chaos:
+        [
+          Supervisor.chaos ~persistent:true ~slot:3 Supervisor.Chaos_raise;
+          Supervisor.chaos ~persistent:true ~slot:7 Supervisor.Chaos_hang;
+          Supervisor.chaos ~slot:9 Supervisor.Chaos_raise;
+          Supervisor.chaos ~slot:11 (Supervisor.Chaos_slow 0.02);
+        ]
+      (spec ())
+  in
+  let expect = outcomes_without [ 3; 7 ] in
+  List.iter
+    (fun jobs ->
+      let r = run jobs in
+      check_int
+        (Printf.sprintf "jobs=%d: two quarantines" jobs)
+        2
+        (List.length r.Campaign.quarantined);
+      check_bool
+        (Printf.sprintf "jobs=%d: quarantines in slot order" jobs)
+        true
+        (List.map (fun te -> te.Supervisor.te_slot) r.Campaign.quarantined = [ 3; 7 ]);
+      check_bool
+        (Printf.sprintf "jobs=%d: surviving outcomes bit-identical" jobs)
+        true (results_equal r expect))
+    [ 1; 2; 4 ]
+
+(* ---- quarantine persists in the checkpoint: a resumed campaign never
+   re-executes a known-poison plan ---- *)
+
+let test_quarantine_persists_across_resume () =
+  let path = Filename.temp_file "elzar_supervisor" ".ck" in
+  Sys.remove path;
+  let cancel = Atomic.make false in
+  let r1 =
+    Campaign.single ~seed:51 ~n:16 ~jobs:1 ~checkpoint:path ~cancel
+      ~supervise:Supervisor.default
+      ~chaos:[ Supervisor.chaos ~persistent:true ~slot:0 Supervisor.Chaos_raise ]
+      ~progress:(fun p -> if p.Campaign.completed >= 10 then Atomic.set cancel true)
+      (spec ())
+  in
+  check_bool "first run interrupted" true r1.Campaign.interrupted;
+  check_int "slot 0 quarantined before the interrupt" 1
+    (List.length r1.Campaign.quarantined);
+  check_bool "checkpoint kept" true (Sys.file_exists path);
+  (* resume with a FRESH chaos spec on the same slot: if the resume ever
+     re-executed the quarantined experiment, this spec would be consulted
+     and its hit counter would advance *)
+  let probe = Supervisor.chaos ~persistent:true ~slot:0 Supervisor.Chaos_raise in
+  let r2 =
+    Campaign.single ~seed:51 ~n:16 ~jobs:1 ~checkpoint:path
+      ~supervise:Supervisor.default ~chaos:[ probe ] (spec ())
+  in
+  check_int "quarantined slot never re-executed" 0 (Supervisor.chaos_hits probe);
+  (match r2.Campaign.quarantined with
+  | [ te ] ->
+      check_int "quarantine restored from checkpoint" 0 te.Supervisor.te_slot;
+      check_bool "restored record keeps its kind" true
+        (te.Supervisor.te_kind = Supervisor.Host_exception)
+  | l -> Alcotest.failf "expected the restored quarantine, got %d" (List.length l));
+  check_bool "resume restored completed experiments" true (r2.Campaign.restored > 0);
+  check_bool "final outcomes = baseline minus the poisoned slot" true
+    (results_equal r2 (outcomes_without [ 0 ]));
+  check_bool "checkpoint removed after completion" true (not (Sys.file_exists path))
+
+(* ---- a raising progress callback must not kill the campaign ---- *)
+
+let test_progress_exception_safe () =
+  let calls = ref 0 in
+  let r =
+    Campaign.single ~seed:51 ~n:16 ~jobs:1
+      ~progress:(fun _ ->
+        incr calls;
+        failwith "progress consumer bug")
+      (spec ())
+  in
+  check_bool "campaign completed despite raising progress" true
+    (r.Campaign.stats = (baseline_report ()).Campaign.stats);
+  check_int "callback still called every experiment" 16 !calls
+
+(* ---- cancellation without supervision: stops at the next boundary ---- *)
+
+let test_cancel_unsupervised () =
+  let cancel = Atomic.make false in
+  let r =
+    Campaign.single ~seed:51 ~n:16 ~jobs:1 ~cancel
+      ~progress:(fun p -> if p.Campaign.completed >= 5 then Atomic.set cancel true)
+      (spec ())
+  in
+  check_bool "interrupted" true r.Campaign.interrupted;
+  check_bool "partial outcomes only" true (Array.length r.Campaign.outcomes < 16);
+  check_bool "at least the 5 completed" true (Array.length r.Campaign.outcomes >= 5)
+
+(* ---- deadline arithmetic: cold start and running median ---- *)
+
+let test_deadline_median () =
+  let cfg =
+    { Supervisor.default with Supervisor.deadline_factor = 3.0; deadline_floor = 0.5 }
+  in
+  let s = Supervisor.start cfg ~jobs:1 in
+  Fun.protect
+    ~finally:(fun () -> Supervisor.stop s)
+    (fun () ->
+      Alcotest.(check (float 1e-9)) "cold start: factor x floor" 1.5
+        (Supervisor.deadline s);
+      List.iter (Supervisor.record_sample s) [ 1.0; 1.0; 1.0; 2.0; 8.0 ];
+      Alcotest.(check (float 1e-9)) "factor x median" 3.0 (Supervisor.deadline s));
+  let s2 = Supervisor.start cfg ~jobs:1 in
+  Fun.protect
+    ~finally:(fun () -> Supervisor.stop s2)
+    (fun () ->
+      List.iter (Supervisor.record_sample s2) [ 0.01; 0.01; 0.01 ];
+      Alcotest.(check (float 1e-9)) "floor holds for fast runs" 0.5
+        (Supervisor.deadline s2))
+
+let tests =
+  [
+    Alcotest.test_case "supervised = unsupervised at jobs 1/2/4" `Quick
+      test_supervised_matches_unsupervised;
+    Alcotest.test_case "host exception retried clean" `Quick test_chaos_raise_retried;
+    Alcotest.test_case "persistent exception quarantined" `Quick
+      test_chaos_raise_persistent_quarantines;
+    Alcotest.test_case "watchdog quarantines a hung run" `Quick test_chaos_hang_deadline;
+    Alcotest.test_case "transient hang retried clean" `Quick test_chaos_hang_once_retried;
+    Alcotest.test_case "slow run tolerated" `Quick test_chaos_slow_tolerated;
+    Alcotest.test_case "worker death respawned clean" `Quick test_chaos_kill_respawn;
+    Alcotest.test_case "repeated worker death quarantined" `Quick
+      test_chaos_kill_persistent_quarantines;
+    Alcotest.test_case "chaos storm worker-invariant" `Quick
+      test_chaos_storm_worker_invariant;
+    Alcotest.test_case "quarantine persists across resume" `Quick
+      test_quarantine_persists_across_resume;
+    Alcotest.test_case "raising progress callback survives" `Quick
+      test_progress_exception_safe;
+    Alcotest.test_case "cancel interrupts unsupervised runs" `Quick
+      test_cancel_unsupervised;
+    Alcotest.test_case "deadline median arithmetic" `Quick test_deadline_median;
+  ]
