@@ -5,6 +5,11 @@
 let size = ref Workloads.Workload.Medium
 let fi_injections = ref 150
 
+(* Execution engine for the simulation runs behind the figures.  Set with
+   --engine; experiments that sweep or compare engines themselves (interp,
+   campaign_speed) ignore it and measure all tiers. *)
+let engine = ref Cpu.Machine.default_config.Cpu.Machine.engine
+
 (* Fault-injection campaign worker pool: 0 = auto (one worker per
    recommended domain).  Set with --fi-jobs. *)
 let fi_jobs = ref 0
@@ -96,16 +101,20 @@ let run ?(nthreads = 16) ?size:size_opt (w : Workloads.Workload.t) (f : flavour)
     Cpu.Machine.result =
   let size = Option.value size_opt ~default:!size in
   let key =
-    Printf.sprintf "%s/%s/%s/%d" w.Workloads.Workload.name f.tag
+    Printf.sprintf "%s/%s/%s/%d/%s" w.Workloads.Workload.name f.tag
       (Workloads.Workload.size_to_string size)
       nthreads
+      (Cpu.Machine.engine_to_string !engine)
   in
   match Hashtbl.find_opt result_cache key with
   | Some r -> r
   | None ->
       let m = prepared w f size in
+      let machine_cfg =
+        { Cpu.Machine.default_config with Cpu.Machine.engine = !engine }
+      in
       let r =
-        Workloads.Workload.execute_prepared w ~prepared:m
+        Workloads.Workload.execute_prepared w ~machine_cfg ~prepared:m
           ~reexec_retries:(Elzar.reexec_retries f.build)
           ~flags_cmp:(Elzar.uses_flags_cmp f.build) ~nthreads ~size
       in

@@ -1,11 +1,14 @@
 (** Interpreter microbenchmark: simulated MIPS (million dynamic
-    instructions retired per host second) of the reference interpreter vs
-    the closure-compiled engine, per build flavour.  This is the direct
-    measure of the threaded-code tier's win (EXPERIMENTS.md §interp);
-    campaign-level wall time is measured by [campaign_speed].
+    instructions retired per host second) of the three execution tiers —
+    reference interpreter, closure engine, block-fused engine — per build
+    flavour.  Every cell doubles as a bit-identity check: the engines must
+    agree on retired instructions, wall cycles and the output digest, or
+    the benchmark fails.  This is the direct measure of the compiled
+    tiers' win (EXPERIMENTS.md §interp); campaign-level wall time is
+    measured by [campaign_speed].
 
     With [--json], emits BENCH_interp.json in the working directory so CI
-    can track the MIPS of both tiers over time. *)
+    can track the MIPS of all tiers over time. *)
 
 let benchmarks = [ "hist"; "linreg"; "km" ]
 let flavours = [ Common.native; Common.native_novec; Common.elzar; Common.swiftr ]
@@ -16,17 +19,19 @@ type sample = {
   s_engine : string;
   s_mode : string;  (** "plain" or "census" (the campaign golden-run config) *)
   s_instrs : int;
+  s_cycles : int;
+  s_digest : string;
   s_seconds : float;
   s_mips : float;
 }
 
 (* One timed simulation run.  Machine construction (memory image, IR
    loading, input preparation) stays outside the timed region — this
-   benchmark isolates the interpretation rate itself; the closure engine's
-   one-time translation happens inside (first quantum) and is part of its
-   cost. *)
+   benchmark isolates the interpretation rate itself; the compiled
+   engines' one-time translation happens inside (first quantum) and is
+   part of their cost. *)
 let time_run (w : Workloads.Workload.t) (f : Common.flavour) ~(census : bool)
-    (engine : Cpu.Machine.engine_kind) : int * float =
+    (engine : Cpu.Machine.engine_kind) : int * int * string * float =
   let prepared = Common.prepared w f !Common.size in
   let cfg =
     {
@@ -46,29 +51,47 @@ let time_run (w : Workloads.Workload.t) (f : Common.flavour) ~(census : bool)
   (match r.Cpu.Machine.trap with
   | Some t -> failwith ("bench interp: trapped: " ^ Cpu.Machine.string_of_trap t)
   | None -> ());
-  (r.Cpu.Machine.totals.Cpu.Counters.instrs, dt)
-
-let engine_name = function
-  | Cpu.Machine.Reference -> "reference"
-  | Cpu.Machine.Closure -> "closure"
+  ( r.Cpu.Machine.totals.Cpu.Counters.instrs,
+    r.Cpu.Machine.wall_cycles,
+    r.Cpu.Machine.output_digest,
+    dt )
 
 let measure (w : Workloads.Workload.t) (f : Common.flavour) ~(census : bool)
     (engine : Cpu.Machine.engine_kind) : sample =
   ignore (time_run w f ~census engine);  (* warm-up: page in code paths and caches *)
-  let instrs, dt = time_run w f ~census engine in
+  let instrs, cycles, digest, dt = time_run w f ~census engine in
   {
     s_bench = w.Workloads.Workload.name;
     s_flavour = f.Common.tag;
-    s_engine = engine_name engine;
+    s_engine = Cpu.Machine.engine_to_string engine;
     s_mode = (if census then "census" else "plain");
     s_instrs = instrs;
+    s_cycles = cycles;
+    s_digest = digest;
     s_seconds = dt;
     s_mips = float_of_int instrs /. 1e6 /. dt;
   }
 
+(* Cross-engine bit-identity: the benchmark is also a correctness gate. *)
+let check_identity (a : sample) (b : sample) =
+  if a.s_instrs <> b.s_instrs || a.s_cycles <> b.s_cycles || a.s_digest <> b.s_digest
+  then
+    failwith
+      (Printf.sprintf
+         "bench interp: %s/%s/%s: engines %s and %s diverge (instrs %d vs %d, cycles \
+          %d vs %d, digests %s)"
+         a.s_bench a.s_flavour a.s_mode a.s_engine b.s_engine a.s_instrs b.s_instrs
+         a.s_cycles b.s_cycles
+         (if a.s_digest = b.s_digest then "equal" else "differ"))
+
 (* The versioned document (schema "elzar.bench.interp") goes through the
-   same report pipeline as campaigns and CLI runs. *)
-let emit_json path (samples : sample list) (speedups : (string * float) list) =
+   same report pipeline as campaigns and CLI runs.  [closure_speedup]
+   (closure over reference, per flavour/mode) is kept for continuity;
+   [gmean_speedup] summarizes each engine pair over the plain-mode cells
+   (the census cells deliberately deoptimize most blocks on hardened
+   flavours, so they measure the fallback, not the tier). *)
+let emit_json path (samples : sample list) (speedups : (string * float) list)
+    (pair_gmeans : (string * float) list) =
   let sample_json s =
     Obs.Json.Obj
       [
@@ -77,6 +100,7 @@ let emit_json path (samples : sample list) (speedups : (string * float) list) =
         ("engine", Obs.Json.Str s.s_engine);
         ("mode", Obs.Json.Str s.s_mode);
         ("instrs", Obs.Json.Int s.s_instrs);
+        ("cycles", Obs.Json.Int s.s_cycles);
         ("seconds", Obs.Json.Float s.s_seconds);
         ("mips", Obs.Json.Float s.s_mips);
       ]
@@ -88,39 +112,65 @@ let emit_json path (samples : sample list) (speedups : (string * float) list) =
          ("samples", Obs.Json.List (List.map sample_json samples));
          ( "closure_speedup",
            Obs.Json.Obj (List.map (fun (tag, x) -> (tag, Obs.Json.Float x)) speedups) );
+         ( "gmean_speedup",
+           Obs.Json.Obj
+             (List.map (fun (pair, x) -> (pair, Obs.Json.Float x)) pair_gmeans) );
        ])
 
+let pairs = [ "closure_over_reference"; "block_over_reference"; "block_over_closure" ]
+
 let run () =
-  Common.heading "Interpreter MIPS: reference interpreter vs closure engine";
-  Printf.printf "%-10s %-14s %-7s %10s %10s %8s\n" "bench" "flavour" "mode" "ref MIPS"
-    "clos MIPS" "speedup";
+  Common.heading "Interpreter MIPS: reference vs closure vs block engines";
+  Printf.printf "%-10s %-14s %-7s %9s %9s %9s %9s\n" "bench" "flavour" "mode"
+    "ref MIPS" "clos MIPS" "blk MIPS" "blk/clos";
   let samples = ref [] in
   let speedups = ref [] in
+  let pair_acc = Hashtbl.create 8 in
+  let note pair r =
+    Hashtbl.replace pair_acc pair
+      (r :: (try Hashtbl.find pair_acc pair with Not_found -> []))
+  in
   List.iter
     (fun f ->
       List.iter
         (fun census ->
-          let per = ref [] in
+          let per_clos = ref [] and per_blk = ref [] in
           List.iter
             (fun name ->
               let w = Workloads.Registry.find name in
               let sr = measure w f ~census Cpu.Machine.Reference in
               let sc = measure w f ~census Cpu.Machine.Closure in
-              samples := !samples @ [ sr; sc ];
-              per := (sc.s_mips /. sr.s_mips) :: !per;
-              Printf.printf "%-10s %-14s %-7s %10.2f %10.2f %7.2fx\n" name f.Common.tag
-                sr.s_mode sr.s_mips sc.s_mips (sc.s_mips /. sr.s_mips))
+              let sb = measure w f ~census Cpu.Machine.Block in
+              check_identity sr sc;
+              check_identity sr sb;
+              samples := !samples @ [ sr; sc; sb ];
+              per_clos := (sc.s_mips /. sr.s_mips) :: !per_clos;
+              per_blk := (sb.s_mips /. sc.s_mips) :: !per_blk;
+              if not census then begin
+                note "closure_over_reference" (sc.s_mips /. sr.s_mips);
+                note "block_over_reference" (sb.s_mips /. sr.s_mips);
+                note "block_over_closure" (sb.s_mips /. sc.s_mips)
+              end;
+              Printf.printf "%-10s %-14s %-7s %9.2f %9.2f %9.2f %8.2fx\n" name
+                f.Common.tag sr.s_mode sr.s_mips sc.s_mips sb.s_mips
+                (sb.s_mips /. sc.s_mips))
             benchmarks;
-          speedups :=
-            !speedups
-            @ [ (f.Common.tag ^ "/" ^ (if census then "census" else "plain"),
-                 Common.gmean !per) ])
+          let mode = if census then "census" else "plain" in
+          speedups := !speedups @ [ (f.Common.tag ^ "/" ^ mode, Common.gmean !per_clos) ];
+          Printf.printf "  %-30s gmean closure/ref %.2fx  block/closure %.2fx\n"
+            (f.Common.tag ^ "/" ^ mode)
+            (Common.gmean !per_clos) (Common.gmean !per_blk))
         [ false; true ])
     flavours;
+  let pair_gmeans =
+    List.map (fun p -> (p, Common.gmean (Hashtbl.find pair_acc p))) pairs
+  in
+  Printf.printf "identity: all %d cells bit-identical across the three engines\n"
+    (List.length !samples / 3);
   List.iter
-    (fun (tag, x) -> Printf.printf "%-25s gmean closure speedup %.2fx\n" tag x)
-    !speedups;
+    (fun (pair, x) -> Printf.printf "%-25s gmean speedup (plain) %.2fx\n" pair x)
+    pair_gmeans;
   if !Common.json_reports then begin
-    emit_json "BENCH_interp.json" !samples !speedups;
+    emit_json "BENCH_interp.json" !samples !speedups pair_gmeans;
     Printf.printf "wrote BENCH_interp.json\n"
   end

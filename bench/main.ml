@@ -1,8 +1,8 @@
 (** Experiment harness: regenerates every table and figure of the paper's
     evaluation (DESIGN.md section 4 maps each to its module).
 
-    Usage: bench/main.exe [experiments...] [--size S] [--injections N]
-    [--fi-jobs J] [--fi-progress] [--json]
+    Usage: bench/main.exe [experiments...] [--size S] [--engine E]
+    [--injections N] [--fi-jobs J] [--fi-progress] [--json]
     With no arguments, runs everything. *)
 
 let experiments =
@@ -29,7 +29,8 @@ let experiments =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [%s] [--size tiny|small|medium|large] [--injections N] [--fi-jobs J] \
+    "usage: main.exe [%s] [--size tiny|small|medium|large] \
+     [--engine reference|closure|block] [--injections N] [--fi-jobs J] \
      [--fi-progress] [--json]\n"
     (String.concat "|" (List.map fst experiments));
   exit 1
@@ -46,6 +47,14 @@ let () =
            | "small" -> Workloads.Workload.Small
            | "medium" -> Workloads.Workload.Medium
            | "large" -> Workloads.Workload.Large
+           | _ -> usage ());
+        parse rest
+    | "--engine" :: e :: rest ->
+        (Common.engine :=
+           match e with
+           | "reference" -> Cpu.Machine.Reference
+           | "closure" -> Cpu.Machine.Closure
+           | "block" -> Cpu.Machine.Block
            | _ -> usage ());
         parse rest
     | "--injections" :: n :: rest ->
@@ -70,8 +79,9 @@ let () =
   in
   parse (List.tl args);
   let todo = if !selected = [] then List.map fst experiments else List.rev !selected in
-  Printf.printf "ELZAR experiment harness (size=%s, injections=%d, fi-jobs=%d)\n"
+  Printf.printf "ELZAR experiment harness (size=%s, engine=%s, injections=%d, fi-jobs=%d)\n"
     (Workloads.Workload.size_to_string !Common.size)
+    (Cpu.Machine.engine_to_string !Common.engine)
     !Common.fi_injections
     (Common.fi_effective_jobs ());
   let t0 = Unix.gettimeofday () in

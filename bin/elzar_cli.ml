@@ -41,6 +41,26 @@ let build_arg =
 let size_arg =
   Arg.(value & opt size_conv Workloads.Workload.Small & info [ "s"; "size" ] ~doc:"Input size.")
 
+let engine_conv =
+  let parse = function
+    | "reference" -> Ok Cpu.Machine.Reference
+    | "closure" -> Ok Cpu.Machine.Closure
+    | "block" -> Ok Cpu.Machine.Block
+    | s -> Error (`Msg ("unknown engine " ^ s ^ " (expected reference, closure or block)"))
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (Cpu.Machine.engine_to_string e))
+
+(* [None] means "not given": each command picks its own default (the
+   closure tier) and [inject] additionally honours the deprecated
+   [--reference-engine] alias. *)
+let engine_arg =
+  Arg.(value & opt (some engine_conv) None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: reference (the interpreter, kept as the executable \
+                 specification), closure (per-instruction threaded code, the default) or \
+                 block (fused superblock closures with precomputed timing). All engines \
+                 are bit-identical; only wall time differs.")
+
 let threads_arg = Arg.(value & opt int 2 & info [ "t"; "threads" ] ~doc:"Worker threads.")
 
 (* ---- list ---- *)
@@ -63,10 +83,15 @@ let list_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run name build nthreads size profile json =
+  let run name build nthreads size profile engine json =
     let w = Workloads.Registry.find name in
     let prof = if profile then Some (Cpu.Profile.create ()) else None in
-    let machine_cfg = { Cpu.Machine.default_config with Cpu.Machine.profile = prof } in
+    let engine =
+      Option.value engine ~default:Cpu.Machine.default_config.Cpu.Machine.engine
+    in
+    let machine_cfg =
+      { Cpu.Machine.default_config with Cpu.Machine.profile = prof; engine }
+    in
     let r = Workloads.Workload.execute ~machine_cfg w ~build ~nthreads ~size in
     (match r.Cpu.Machine.trap with
     | Some t -> Printf.printf "trap: %s\n" (Cpu.Machine.string_of_trap t)
@@ -89,6 +114,7 @@ let run_cmd =
             ("build", Obs.Json.Str (Elzar.build_name build));
             ("threads", Obs.Json.Int nthreads);
             ("size", Obs.Json.Str (Workloads.Workload.size_to_string size));
+            ("engine", Obs.Json.Str (Cpu.Machine.engine_to_string engine));
           ]
         in
         Report.write path (Report.run_result ~params ?profile:prof r);
@@ -110,7 +136,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on the simulated machine")
-    Term.(const run $ name_arg $ build_arg $ threads_arg $ size_arg $ profile $ json)
+    Term.(const run $ name_arg $ build_arg $ threads_arg $ size_arg $ profile
+          $ engine_arg $ json)
 
 (* ---- inject ---- *)
 
@@ -164,15 +191,18 @@ let chaos_conv : Supervisor.chaos_plan Arg.conv =
       Format.fprintf fmt "<%d chaos specs>" (List.length l))
 
 let inject_cmd =
-  let run name build n seed jobs double same_bit model avf checkpoint quiet
+  let run name build n seed jobs double same_bit model avf checkpoint quiet engine
       reference_engine no_fast_forward json no_supervise retries deadline_factor
       deadline_floor max_tool_errors chaos =
     let w = Workloads.Registry.find name in
     let spec = Workloads.Workload.fi_spec w ~build () in
-    let spec =
-      if reference_engine then { spec with Fault.engine = Cpu.Machine.Reference }
-      else spec
+    let engine =
+      match engine with
+      | Some e -> e
+      | None ->
+          if reference_engine then Cpu.Machine.Reference else spec.Fault.engine
     in
+    let spec = { spec with Fault.engine } in
     let fast_forward = not no_fast_forward in
     (* Ctrl-C / SIGTERM: cooperative cancellation.  The flag stops the
        campaign at the next experiment boundary; the engine flushes and
@@ -270,8 +300,7 @@ let inject_cmd =
             ("seed", Obs.Json.Int seed);
             ("double", Obs.Json.Bool double);
             ("fault_model", Obs.Json.Str (Fault.model_to_string model));
-            ( "engine",
-              Obs.Json.Str (if reference_engine then "reference" else "closure") );
+            ("engine", Obs.Json.Str (Cpu.Machine.engine_to_string engine));
             ("fast_forward", Obs.Json.Bool fast_forward);
             ("supervised", Obs.Json.Bool (supervise <> None));
           ]
@@ -327,8 +356,8 @@ let inject_cmd =
   let reference_engine =
     Arg.(value & flag
          & info [ "reference-engine" ]
-             ~doc:"Execute on the reference interpreter instead of the closure-compiled \
-                   engine. Results are bit-identical; only wall time differs.")
+             ~doc:"Deprecated alias for --engine reference (ignored when --engine is \
+                   given).")
   in
   let no_fast_forward =
     Arg.(value & flag
@@ -385,9 +414,9 @@ let inject_cmd =
   Cmd.v
     (Cmd.info "inject" ~doc:"Run a fault-injection campaign")
     Term.(const run $ name_arg $ build_arg $ n $ seed $ jobs $ double $ same_bit $ model
-          $ avf $ checkpoint $ quiet $ reference_engine $ no_fast_forward $ json
-          $ no_supervise $ retries $ deadline_factor $ deadline_floor $ max_tool_errors
-          $ chaos)
+          $ avf $ checkpoint $ quiet $ engine_arg $ reference_engine $ no_fast_forward
+          $ json $ no_supervise $ retries $ deadline_factor $ deadline_floor
+          $ max_tool_errors $ chaos)
 
 (* ---- show ---- *)
 

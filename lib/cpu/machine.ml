@@ -125,15 +125,25 @@ let second_flip ~(dlanes : int) ~(lane : int) ~(bit : int) ~(lane2 : int) ~(bit2
   else if l2 = l1 then ((l1 + 1 + (lane2 mod (dlanes - 1))) mod dlanes, b2)
   else (l2, b2)
 
-(* Two-tier execution engine.  [Closure] is the threaded-code tier: at
+(* Three-tier execution engine.  [Closure] is the threaded-code tier: at
    machine-build time every [rinstr] is translated into a pre-specialized
    OCaml closure (operand offsets, lane strides, flag bookkeeping and the
    fault-injection hooks of *this* config resolved once), and the dispatch
-   loop just tail-calls through the closure array.  [Reference] is the
-   original [step] interpreter, kept as the executable spec: both tiers
-   are required to produce bit-identical results (cycles, counters,
-   output, traps), which the engine-equivalence tests assert. *)
-type engine_kind = Reference | Closure
+   loop just tail-calls through the closure array.  [Block] additionally
+   fuses each straight-line run of instructions into a single superblock
+   closure with bulk counter updates and a precompiled static timing plan;
+   blocks whose instructions would carry compiled-in hooks (armed fault
+   sites, census, undo log, tracing, profiling) deoptimize to the
+   per-instruction closures.  [Reference] is the original [step]
+   interpreter, kept as the executable spec: all tiers are required to
+   produce bit-identical results (cycles, counters, output, traps), which
+   the engine-equivalence tests assert. *)
+type engine_kind = Reference | Closure | Block
+
+let engine_to_string = function
+  | Reference -> "reference"
+  | Closure -> "closure"
+  | Block -> "block"
 
 (* Raised out of [resume] when the abort hook reports cancellation at a
    quantum boundary.  Deliberately NOT a [trap_reason]: an aborted run is
@@ -189,6 +199,12 @@ let default_config =
     chaos = None;
   }
 
+(* One fused superblock of the block engine: [fb_len] dynamic instructions
+   (a hook-free straight-line prefix, plus the trailing block ender when
+   the run ends in a control transfer) executed by one closure.  [fb_exec]
+   follows the same return protocol as the per-instruction closures. *)
+type fblock = { fb_len : int; fb_exec : thread -> frame -> int }
+
 type t = {
   code : Code.t;
   mem : Memory.t;
@@ -199,7 +215,12 @@ type t = {
           entries are meaningful. *)
   mutable kcode : (thread -> frame -> int) array array;
       (** closure-compiled code, indexed by [cf_id] then [pc]; built
-          lazily on the first [resume] under the [Closure] engine *)
+          lazily on the first [resume] under the [Closure] and [Block]
+          engines *)
+  mutable kblocks : fblock option array array;
+      (** fused superblocks, indexed by [cf_id] then starting [pc];
+          [Some] only at fusable block starts.  Built lazily on the first
+          [resume] under the [Block] engine *)
   mutable snap_base : Bytes.t;
       (** memory image at the first snapshot of this run; empty until
           [snapshot] is first called *)
@@ -252,6 +273,7 @@ let create ?(cfg = default_config) ?(flags_cmp = false) (m : Ir.Instr.modul) : t
     threads = [];
     by_tid = [||];
     kcode = [||];
+    kblocks = [||];
     snap_base = Bytes.empty;
     nthreads = 0;
     output = Buffer.create 256;
@@ -1152,91 +1174,79 @@ let k_fix_addr (m : t) (cls : string) (a : int64) : int64 =
     a'
   end
 
-(* Compiles one instruction into a closure specialized on its operands,
-   lane counts, flags and the machine's own config: operand offsets and
-   the [mod lanes] stride are resolved here, and the fault-injection /
-   tracing / undo-log hooks are either compiled in or dropped entirely,
-   once, instead of being re-examined on every dynamic instruction.
+(* ---- operand accessors specialized at compile time ----
+   [lane_fn] keeps [get_lane]'s general wrap; [get_fn ~n] additionally
+   drops the [mod lanes] when the operand covers all n lanes of the
+   consumer.  Shared by the closure and block tiers. *)
+
+let lane_fn (o : Code.rop) : int64 array -> int -> int64 =
+  match o with
+  | Code.Oconst a ->
+      if Array.length a = 1 then fun _ _ -> a.(0)
+      else
+        let la = Array.length a in
+        fun _ j -> a.(j mod la)
+  | Code.Oslot (off, 1) -> fun regs _ -> regs.(off)
+  | Code.Oslot (off, l) -> fun regs j -> regs.(off + (j mod l))
+
+let get_fn ~(n : int) (o : Code.rop) : int64 array -> int -> int64 =
+  match o with
+  | Code.Oslot (off, l) when n > 0 && l >= n -> fun regs j -> regs.(off + j)
+  | Code.Oconst a when n > 1 && Array.length a >= n -> fun _ j -> a.(j)
+  | o -> lane_fn o
+
+let scalar_fn (o : Code.rop) : int64 array -> int64 =
+  match o with
+  | Code.Oslot (off, _) -> fun regs -> regs.(off)
+  | Code.Oconst a -> fun _ -> a.(0)
+
+let rop_lanes = function
+  | Code.Oslot (_, l) -> l
+  | Code.Oconst a -> Array.length a
+
+(* Readiness of an instruction's register inputs, specialized on the
+   source count. *)
+let ready_fn (srcs : int array) : frame -> int =
+  match Array.length srcs with
+  | 0 -> fun _ -> 0
+  | 1 ->
+      let s0 = srcs.(0) in
+      fun fr -> fr.ready.(s0)
+  | 2 ->
+      let s0 = srcs.(0) and s1 = srcs.(1) in
+      fun fr ->
+        let a = fr.ready.(s0) and b = fr.ready.(s1) in
+        if a > b then a else b
+  | ns ->
+      fun fr ->
+        let r = ref 0 in
+        let ra = fr.ready in
+        for i = 0 to ns - 1 do
+          if ra.(srcs.(i)) > !r then r := ra.(srcs.(i))
+        done;
+        !r
+
+(* Compiles the operational body of one instruction — semantics, memory
+   effects, timing epilogue — into a closure specialized on its operands,
+   lane counts and the given hook flags: operand offsets and the
+   [mod lanes] stride are resolved once, and the fault-injection /
+   undo-log hooks are compiled in or dropped entirely instead of being
+   re-examined on every dynamic instruction.  Both compiled tiers build
+   on this: the closure tier passes its config-derived flags and a
+   [Timing.exec] epilogue via [finish_plain]; the block tier's fused
+   prefixes pass all-false flags (fusion eligibility guarantees the
+   hooks could not fire) and a precompiled [Timing.exec_plan] epilogue.
    Semantics — including timing, counter and fault-stream order — mirror
-   [step] exactly; the equivalence tests hold both engines to bit-identical
-   results. *)
-let compile_item (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem) :
-    thread -> frame -> int =
-  let cfg = m.cfg in
+   [step] exactly; the equivalence tests hold all engines to
+   bit-identical results. *)
+let compile_body (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem)
+    ~(addr_faults : bool) ~(mem_faults : bool) ~(cf_faults : bool)
+    ~(reexec_on : bool)
+    ~(finish_plain : thread -> frame -> int -> int -> unit) :
+    thread -> frame -> int -> int =
   let uops = it.Code.uops in
-  let nuops = Array.length uops in
-  let dst = it.Code.dst in
-  let fl = it.Code.flags in
   let cls = class_of it.Code.op in
-  let is_avx = fl land Code.fl_avx <> 0 in
-  let is_load = fl land Code.fl_load <> 0 in
-  let is_store = fl land Code.fl_store <> 0 in
-  let is_branch = fl land Code.fl_branch <> 0 in
-  let hardened = cf.Code.cf_hardened in
-  let is_mem_site = hardened && (is_load || is_store) in
-  let is_br_site =
-    hardened
-    && match it.Code.op with Code.Tcondbr _ | Code.Tvbr _ | Code.Tvbr_u _ -> true | _ -> false
-  in
-  let reexec_on = cfg.reexec_retries > 0 in
-  let addr_faults = match cfg.inject with Some i -> i.kind = Addr_flip | None -> false in
-  let mem_faults = match cfg.inject with Some i -> i.kind = Mem_flip | None -> false in
-  let cf_faults = match cfg.inject with Some i -> i.kind = Branch_flip | None -> false in
   let next = pc + 1 in
-  (* Operand accessors with the stride resolved at compile time: [lane_fn]
-     keeps [get_lane]'s general wrap; [get_fn ~n] additionally drops the
-     [mod lanes] when the operand covers all n lanes of the consumer. *)
-  let lane_fn (o : Code.rop) : int64 array -> int -> int64 =
-    match o with
-    | Code.Oconst a ->
-        if Array.length a = 1 then fun _ _ -> a.(0)
-        else
-          let la = Array.length a in
-          fun _ j -> a.(j mod la)
-    | Code.Oslot (off, 1) -> fun regs _ -> regs.(off)
-    | Code.Oslot (off, l) -> fun regs j -> regs.(off + (j mod l))
-  in
-  let get_fn ~(n : int) (o : Code.rop) : int64 array -> int -> int64 =
-    match o with
-    | Code.Oslot (off, l) when n > 0 && l >= n -> fun regs j -> regs.(off + j)
-    | Code.Oconst a when n > 1 && Array.length a >= n -> fun _ j -> a.(j)
-    | o -> lane_fn o
-  in
-  let scalar_fn (o : Code.rop) : int64 array -> int64 =
-    match o with
-    | Code.Oslot (off, _) -> fun regs -> regs.(off)
-    | Code.Oconst a -> fun _ -> a.(0)
-  in
-  let rop_lanes = function
-    | Code.Oslot (_, l) -> l
-    | Code.Oconst a -> Array.length a
-  in
-  let srcs = it.Code.srcs in
-  let ready_of : frame -> int =
-    match Array.length srcs with
-    | 0 -> fun _ -> 0
-    | 1 ->
-        let s0 = srcs.(0) in
-        fun fr -> fr.ready.(s0)
-    | 2 ->
-        let s0 = srcs.(0) and s1 = srcs.(1) in
-        fun fr ->
-          let a = fr.ready.(s0) and b = fr.ready.(s1) in
-          if a > b then a else b
-    | ns ->
-        fun fr ->
-          let r = ref 0 in
-          let ra = fr.ready in
-          for i = 0 to ns - 1 do
-            if ra.(srcs.(i)) > !r then r := ra.(srcs.(i))
-          done;
-          !r
-  in
-  (* timing epilogues shared by the op bodies (same order as [step]) *)
-  let finish_plain th (fr : frame) ready mem_lat =
-    let completion = Timing.exec th.timing ~ready ~mem_lat uops in
-    if dst >= 0 then fr.ready.(dst) <- completion
-  in
   let finish_branch th ready ~taken ~force_miss =
     let completion = Timing.exec th.timing ~ready ~mem_lat:Cache.hit_latency uops in
     let miss = Branch_pred.record th.bpred ~pc ~taken in
@@ -1265,8 +1275,7 @@ let compile_item (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem) :
             ck_tries = 0;
           }
   in
-  let body : thread -> frame -> int -> int =
-    match it.Code.op with
+  match it.Code.op with
     | Code.Rbinop (d, n, f, a, b) ->
         let ga = get_fn ~n a and gb = get_fn ~n b in
         if n = 1 then
@@ -1723,6 +1732,42 @@ let compile_item (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem) :
           finish_branch th ready ~taken ~force_miss:false;
           if taken then t else e
     | Code.Tunreachable -> fun _ _ _ -> raise (Trap Unreachable_executed)
+
+(* Compiles one instruction into its closure-tier form: [compile_body]
+   with this config's hook flags and a [Timing.exec] epilogue, wrapped in
+   the per-instruction bookkeeping (trace, instruction ceiling, counters,
+   fault-site streams, optional profiling). *)
+let compile_item (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem) :
+    thread -> frame -> int =
+  let cfg = m.cfg in
+  let uops = it.Code.uops in
+  let nuops = Array.length uops in
+  let dst = it.Code.dst in
+  let fl = it.Code.flags in
+  let cls = class_of it.Code.op in
+  let is_avx = fl land Code.fl_avx <> 0 in
+  let is_load = fl land Code.fl_load <> 0 in
+  let is_store = fl land Code.fl_store <> 0 in
+  let is_branch = fl land Code.fl_branch <> 0 in
+  let hardened = cf.Code.cf_hardened in
+  let is_mem_site = hardened && (is_load || is_store) in
+  let is_br_site =
+    hardened
+    && match it.Code.op with Code.Tcondbr _ | Code.Tvbr _ | Code.Tvbr_u _ -> true | _ -> false
+  in
+  let reexec_on = cfg.reexec_retries > 0 in
+  let addr_faults = match cfg.inject with Some i -> i.kind = Addr_flip | None -> false in
+  let mem_faults = match cfg.inject with Some i -> i.kind = Mem_flip | None -> false in
+  let cf_faults = match cfg.inject with Some i -> i.kind = Branch_flip | None -> false in
+  let ready_of = ready_fn it.Code.srcs in
+  (* timing epilogue shared by the plain-op bodies (same order as [step]) *)
+  let finish_plain th (fr : frame) ready mem_lat =
+    let completion = Timing.exec th.timing ~ready ~mem_lat uops in
+    if dst >= 0 then fr.ready.(dst) <- completion
+  in
+  let body =
+    compile_body m cf pc it ~addr_faults ~mem_faults ~cf_faults ~reexec_on
+      ~finish_plain
   in
   (* per-instruction fault-site streams, compiled to hooks (or to nothing) *)
   let site_hook : (unit -> unit) option =
@@ -1836,6 +1881,216 @@ let kcompile (m : t) =
         Array.mapi (fun pc it -> compile_item m cf pc it) cf.Code.code)
       m.code.Code.cfuncs
 
+(* ---- block-fused engine ---- *)
+
+(* Superblock boundaries: control transfers, calls (including builtins)
+   and returns end a block. *)
+let is_ender (it : Code.citem) =
+  match it.Code.op with
+  | Code.Rcall _ | Code.Rcall_ind _ | Code.Tret _ | Code.Tbr _
+  | Code.Tcondbr _ | Code.Tvbr _ | Code.Tvbr_u _ | Code.Tunreachable ->
+      true
+  | _ -> false
+
+(* Leaders: every pc a control transfer can land on (or resume at after a
+   call) starts a block.  The array has one extra slot so the
+   past-the-last-ender mark needs no bounds check. *)
+let leaders (cf : Code.cfunc) : bool array =
+  let code = cf.Code.code in
+  let n = Array.length code in
+  let l = Array.make (n + 1) false in
+  if n > 0 then l.(0) <- true;
+  Array.iteri
+    (fun pc it ->
+      (match it.Code.op with
+      | Code.Tbr t -> l.(t) <- true
+      | Code.Tcondbr (_, t, e) ->
+          l.(t) <- true;
+          l.(e) <- true
+      | Code.Tvbr (_, t, e, r) ->
+          l.(t) <- true;
+          l.(e) <- true;
+          l.(r) <- true
+      | Code.Tvbr_u (_, t, e) ->
+          l.(t) <- true;
+          l.(e) <- true
+      | _ -> ());
+      if is_ender it then l.(pc + 1) <- true)
+    code;
+  l
+
+(* Deoptimization rules: a prefix instruction is fusable only if the
+   closure tier would compile NO hook into it under this config, so the
+   fused (hook-free) body is bit-identical by construction.  Armed
+   mem/addr faults are applied and cleared by the very instruction whose
+   site hook armed them, so instructions that are not sites of the
+   injected kind can never observe an armed flag and fuse safely.
+   Majority-vote ops ([Rgather]/[Rscatter]) are excluded whenever a fault
+   is in flight: a recovery vote records detection latency against
+   [total_instrs], which inside a fused block is bulk-updated. *)
+let fusable (cfg : config) ~(hardened : bool) (it : Code.citem) : bool =
+  let fl = it.Code.flags in
+  let is_mem_site = hardened && fl land (Code.fl_load lor Code.fl_store) <> 0 in
+  let is_reg_site = fl land Code.fl_inject <> 0 in
+  let logs_stores =
+    match it.Code.op with
+    | Code.Rstore _ | Code.Rvstore _ | Code.Ratomic _ | Code.Rcmpxchg _
+    | Code.Rscatter _ ->
+        true
+    | _ -> false
+  in
+  let votes =
+    match it.Code.op with Code.Rgather _ | Code.Rscatter _ -> true | _ -> false
+  in
+  (match cfg.inject with
+  | Some inj -> (
+      (not votes)
+      &&
+      match inj.kind with
+      | Reg_flip -> not is_reg_site
+      | Mem_flip | Addr_flip -> not is_mem_site
+      | Branch_flip -> true)
+  | None -> (not cfg.count_inject_sites) || not (is_reg_site || is_mem_site))
+  && ((not (cfg.reexec_retries > 0)) || not logs_stores)
+
+(* One prefix instruction of a fused block: the [compile_body] semantics
+   with every hook compiled out (fusion eligibility guarantees none could
+   fire) and the precompiled static timing plan in place of the
+   per-instance [Timing.exec] μop walk. *)
+let compile_fused_step (m : t) (cf : Code.cfunc) (pc : int) (it : Code.citem) :
+    (frame -> int) * (thread -> frame -> int -> int) =
+  let dst = it.Code.dst in
+  let plan = Timing.plan_of_uops it.Code.uops in
+  let finish_plain th (fr : frame) ready mem_lat =
+    let completion = Timing.exec_plan th.timing ~ready ~mem_lat plan in
+    if dst >= 0 then fr.ready.(dst) <- completion
+  in
+  let body =
+    compile_body m cf pc it ~addr_faults:false ~mem_faults:false
+      ~cf_faults:false ~reexec_on:false ~finish_plain
+  in
+  (ready_fn it.Code.srcs, body)
+
+(* Fuses the straight-line prefix [s .. s+plen-1] plus an optional
+   trailing ender into one closure.  The prefix's counter deltas — its
+   static cost summary — are precomputed and applied in bulk on entry; a
+   mid-prefix trap retracts the unexecuted suffix so [total_instrs],
+   counters and hence detection latency stay bit-identical with
+   per-instruction execution (the trapping instruction itself counts,
+   exactly as in [step]).  The ender runs through its regular
+   per-instruction closure, keeping its own hooks, timing, prediction and
+   control transfer intact.  Prefixes never contain branch instructions
+   ([fl_branch] ops are all enders), so no branch counter is needed. *)
+let compile_block (m : t) (cf : Code.cfunc)
+    (kc : (thread -> frame -> int) array) (s : int) (plen : int)
+    (ender : int option) : fblock =
+  let code = cf.Code.code in
+  (* suffix sums of the prefix's counter deltas, for trap retraction:
+     [suf_X.(i)] covers prefix steps [i .. plen-1] *)
+  let suf_uops = Array.make (plen + 1) 0 in
+  let suf_avx = Array.make (plen + 1) 0 in
+  let suf_loads = Array.make (plen + 1) 0 in
+  let suf_stores = Array.make (plen + 1) 0 in
+  for i = plen - 1 downto 0 do
+    let it = code.(s + i) in
+    let fl = it.Code.flags in
+    suf_uops.(i) <- suf_uops.(i + 1) + Array.length it.Code.uops;
+    suf_avx.(i) <- (suf_avx.(i + 1) + if fl land Code.fl_avx <> 0 then 1 else 0);
+    suf_loads.(i) <- (suf_loads.(i + 1) + if fl land Code.fl_load <> 0 then 1 else 0);
+    suf_stores.(i) <- (suf_stores.(i + 1) + if fl land Code.fl_store <> 0 then 1 else 0)
+  done;
+  let t_uops = suf_uops.(0) and t_avx = suf_avx.(0) in
+  let t_loads = suf_loads.(0) and t_stores = suf_stores.(0) in
+  let steps =
+    Array.init plen (fun i -> compile_fused_step m cf (s + i) code.(s + i))
+  in
+  (* progress through the prefix, for trap retraction; machines run
+     single-domain and blocks are never re-entered mid-flight *)
+  let progress = ref plen in
+  let tail : thread -> frame -> int =
+    match ender with
+    | Some e -> kc.(e)
+    | None ->
+        (* falls through into the next block *)
+        let nxt = s + plen in
+        fun _ _ -> nxt
+  in
+  let rec chain i (k : thread -> frame -> int) : thread -> frame -> int =
+    if i < 0 then k
+    else
+      let ready_of, body = steps.(i) in
+      chain (i - 1) (fun th fr ->
+          progress := i;
+          ignore (body th fr (ready_of fr) : int);
+          k th fr)
+  in
+  let body =
+    chain (plen - 1) (fun th fr ->
+        progress := plen;
+        tail th fr)
+  in
+  let fb_exec th fr =
+    m.total_instrs <- m.total_instrs + plen;
+    let ctr = th.ctr in
+    ctr.Counters.instrs <- ctr.Counters.instrs + plen;
+    ctr.Counters.uops <- ctr.Counters.uops + t_uops;
+    if t_avx > 0 then ctr.Counters.avx_instrs <- ctr.Counters.avx_instrs + t_avx;
+    if t_loads > 0 then ctr.Counters.loads <- ctr.Counters.loads + t_loads;
+    if t_stores > 0 then ctr.Counters.stores <- ctr.Counters.stores + t_stores;
+    try body th fr
+    with Trap _ as ex ->
+      let p = !progress in
+      if p < plen then begin
+        m.total_instrs <- m.total_instrs - (plen - p - 1);
+        ctr.Counters.instrs <- ctr.Counters.instrs - (plen - p - 1);
+        ctr.Counters.uops <- ctr.Counters.uops - suf_uops.(p + 1);
+        ctr.Counters.avx_instrs <- ctr.Counters.avx_instrs - suf_avx.(p + 1);
+        ctr.Counters.loads <- ctr.Counters.loads - suf_loads.(p + 1);
+        ctr.Counters.stores <- ctr.Counters.stores - suf_stores.(p + 1)
+      end;
+      raise ex
+  in
+  { fb_len = (match ender with Some _ -> plen + 1 | None -> plen); fb_exec }
+
+(* Builds the fused-block table: [kblocks.(cf_id).(pc)] is [Some b] iff a
+   fused superblock starts at [pc] under this machine's config.  Tracing
+   and profiling need per-instruction hooks everywhere, so they disable
+   fusion wholesale; otherwise each maximal straight-line run whose
+   instructions all satisfy [fusable] is fused.  Requires [kcode] (enders
+   reuse the per-instruction closures). *)
+let kcompile_blocks (m : t) =
+  let cfg = m.cfg in
+  let fuse = cfg.trace = None && cfg.profile = None in
+  m.kblocks <-
+    Array.map
+      (fun (cf : Code.cfunc) ->
+        let code = cf.Code.code in
+        let n = Array.length code in
+        let tbl = Array.make n None in
+        if fuse && n > 0 then begin
+          let l = leaders cf in
+          let kc = m.kcode.(cf.Code.cf_id) in
+          let hardened = cf.Code.cf_hardened in
+          for s = 0 to n - 1 do
+            if l.(s) && not (is_ender code.(s)) then begin
+              let e = ref (s + 1) in
+              while !e < n && (not (is_ender code.(!e))) && not l.(!e) do
+                incr e
+              done;
+              let plen = !e - s in
+              let ok = ref true in
+              for j = s to !e - 1 do
+                if not (fusable cfg ~hardened code.(j)) then ok := false
+              done;
+              if !ok && !e < n then
+                if l.(!e) then tbl.(s) <- Some (compile_block m cf kc s plen None)
+                else tbl.(s) <- Some (compile_block m cf kc s plen (Some !e))
+            end
+          done
+        end;
+        tbl)
+      m.code.Code.cfuncs
+
 (* ---- scheduler ---- *)
 
 let quantum = 256
@@ -1876,6 +2131,47 @@ let closure_quantum (m : t) (th : thread) =
     while (not !switched) && !budget > 0 do
       let r = code.(!pc) th fr in
       decr budget;
+      if r >= 0 then pc := r
+      else begin
+        switched := true;
+        if r = k_yield then running := false
+      end
+    done;
+    if not !switched then fr.pc <- !pc
+  done
+
+(* One scheduling quantum under the block engine.  At a fused block start
+   the whole superblock runs as one closure and the budget is debited
+   once by its dynamic length; everywhere else (deoptimized blocks,
+   mid-block pcs after a budget expiry or snapshot restore, blocks longer
+   than the remaining budget, the [max_instrs] ceiling) execution falls
+   back to the per-instruction closures.  Quanta therefore end after
+   exactly the same instruction counts as the other engines, preserving
+   snapshot/abort/chaos boundary semantics, and the ceiling check
+   guarantees [Hang] can never fire inside a fused block. *)
+let block_quantum (m : t) (th : thread) =
+  let max_instrs = m.cfg.max_instrs in
+  let budget = ref quantum in
+  let running = ref true in
+  while !running && !budget > 0 do
+    let fr = List.hd th.frames in
+    let cfid = fr.cf.Code.cf_id in
+    let code = m.kcode.(cfid) in
+    let blocks = m.kblocks.(cfid) in
+    let pc = ref fr.pc in
+    let switched = ref false in
+    while (not !switched) && !budget > 0 do
+      let r =
+        match blocks.(!pc) with
+        | Some fb
+          when fb.fb_len <= !budget
+               && m.total_instrs + fb.fb_len <= max_instrs ->
+            budget := !budget - fb.fb_len;
+            fb.fb_exec th fr
+        | _ ->
+            decr budget;
+            code.(!pc) th fr
+      in
       if r >= 0 then pc := r
       else begin
         switched := true;
@@ -1939,9 +2235,17 @@ let make_result (m : t) (trap : trap_reason option) : result =
    quantum — the hook the fault campaign uses to capture snapshots at
    deterministic (quantum-boundary) points. *)
 let resume ?on_quantum (m : t) : result =
-  if m.cfg.engine = Closure && Array.length m.kcode = 0 then kcompile m;
+  (match m.cfg.engine with
+  | Reference -> ()
+  | Closure -> if Array.length m.kcode = 0 then kcompile m
+  | Block ->
+      if Array.length m.kcode = 0 then kcompile m;
+      if Array.length m.kblocks = 0 then kcompile_blocks m);
   let run_quantum =
-    match m.cfg.engine with Reference -> ref_quantum | Closure -> closure_quantum
+    match m.cfg.engine with
+    | Reference -> ref_quantum
+    | Closure -> closure_quantum
+    | Block -> block_quantum
   in
   (* chaos fires once, at the first quantum boundary of this drive; the
      abort hook is polled at every one.  Both raise out of [loop] — past
@@ -2175,6 +2479,7 @@ let restore ?(cfg = default_config) ?(reuse = false) (sn : snapshot) : t =
       threads = [];
       by_tid = [||];
       kcode = [||];
+      kblocks = [||];
       snap_base = Bytes.empty;
       nthreads = sn.sn_nthreads;
       output = Buffer.create (String.length sn.sn_output + 256);

@@ -109,6 +109,130 @@ let exec (t : t) ~(ready : int) ~(mem_lat : int) (uops : Cost.uop array) : int =
     !result
   end
 
+(* ------------------------------------------------------------------ *)
+(* Precompiled μop plans — the static half of the timing model.        *)
+(*                                                                     *)
+(* [exec] re-derives, for every dynamic instance of an instruction,    *)
+(* facts that are fixed at compile time: the μop count, the decoded    *)
+(* port set of each μop, whether it chains on the previous μop, and    *)
+(* whether it touches memory.  The block engine compiles each          *)
+(* instruction's μop sequence once into a [plan]; [exec_plan] then     *)
+(* only evaluates the dynamic residue (port contention, the dispatch   *)
+(* window, L1 hit/miss latency, the miss pipe) and is bit-identical    *)
+(* to [exec] on the same sequence of calls.                            *)
+(* ------------------------------------------------------------------ *)
+
+type uplan = {
+  up_lat : int;
+  up_ports : int array;  (** port indices decoded from the mask, ascending *)
+  up_rt : int;
+  up_chain : bool;
+  up_load : bool;  (** latency comes from the cache model *)
+  up_membus : bool;  (** load or store: serializes on the L1-miss pipe *)
+}
+
+type plan =
+  | Pempty
+  | Palu1 of uplan  (** exactly one μop, no memory side — the common case *)
+  | Pseq of uplan array
+
+let ports_of_mask (mask : int) : int array =
+  let l = ref [] in
+  for p = Cost.nports - 1 downto 0 do
+    if mask land (1 lsl p) <> 0 then l := p :: !l
+  done;
+  Array.of_list !l
+
+let uplan_of (u : Cost.uop) : uplan =
+  {
+    up_lat = u.Cost.lat;
+    up_ports = ports_of_mask u.Cost.ports;
+    up_rt = u.Cost.rt;
+    up_chain = u.Cost.chain;
+    up_load = u.Cost.mem = Cost.Mload;
+    up_membus =
+      (match u.Cost.mem with
+      | Cost.Mload | Cost.Mstore -> true
+      | Cost.Mnone -> false);
+  }
+
+let plan_of_uops (uops : Cost.uop array) : plan =
+  match Array.length uops with
+  | 0 -> Pempty
+  | 1 when uops.(0).Cost.mem = Cost.Mnone -> Palu1 (uplan_of uops.(0))
+  | _ -> Pseq (Array.map uplan_of uops)
+
+(* Port pick over a decoded ascending port list: issues the μop (updates
+   the chosen port's free time by [rt]) and returns its issue cycle.
+   Equivalent to [exec]'s mask scan: same ascending order, same strict
+   [<], so ties resolve to the same (lowest-numbered) port. *)
+let[@inline] pick_port (t : t) (ports : int array) (rt : int) (earliest : int) :
+    int =
+  if Array.length ports = 1 then begin
+    let p0 = Array.unsafe_get ports 0 in
+    let tp = t.port_free.(p0) in
+    let at = if tp > earliest then tp else earliest in
+    t.port_free.(p0) <- at + rt;
+    at
+  end
+  else begin
+    let p0 = Array.unsafe_get ports 0 in
+    let t0 = t.port_free.(p0) in
+    let best = ref p0
+    and best_time = ref (if t0 > earliest then t0 else earliest) in
+    for i = 1 to Array.length ports - 1 do
+      let p = Array.unsafe_get ports i in
+      let tp = t.port_free.(p) in
+      let at = if tp > earliest then tp else earliest in
+      if at < !best_time then begin
+        best_time := at;
+        best := p
+      end
+    done;
+    t.port_free.(!best) <- !best_time + rt;
+    !best_time
+  end
+
+let[@inline] finish_uop (t : t) (completion : int) =
+  t.rob.(t.rob_pos) <- completion;
+  t.rob_pos <- (t.rob_pos + 1) mod rob_size;
+  if completion > t.horizon then t.horizon <- completion
+
+(* Bit-identical replay of [exec] over a precompiled plan. *)
+let exec_plan (t : t) ~(ready : int) ~(mem_lat : int) (p : plan) : int =
+  match p with
+  | Pempty -> ready
+  | Palu1 u ->
+      (* single non-memory μop: dep is [ready] whether or not it chains,
+         and [mem_lat] cannot apply *)
+      let dispatched = dispatch_one t in
+      let earliest = if ready > dispatched then ready else dispatched in
+      let issue = pick_port t u.up_ports u.up_rt earliest in
+      let completion = issue + u.up_lat in
+      finish_uop t completion;
+      completion
+  | Pseq us ->
+      let n = Array.length us in
+      let last = ref ready and result = ref ready in
+      let missed = mem_lat > Cache.hit_latency in
+      for k = 0 to n - 1 do
+        let u = Array.unsafe_get us k in
+        let dispatched = dispatch_one t in
+        let dep = if u.up_chain then !last else ready in
+        let earliest = if dep > dispatched then dep else dispatched in
+        let issue = ref (pick_port t u.up_ports u.up_rt earliest) in
+        if u.up_membus && missed then begin
+          if t.bus_free > !issue then issue := t.bus_free;
+          t.bus_free <- !issue + Cost.membus_rt
+        end;
+        let lat = if u.up_load then mem_lat else u.up_lat in
+        let completion = !issue + lat in
+        finish_uop t completion;
+        last := completion;
+        if completion > !result then result := completion
+      done;
+      !result
+
 (* Branch misprediction: the front end refills after the branch resolves. *)
 let mispredict (t : t) ~(resolved : int) =
   let restart = resolved + Cost.mispredict_penalty in

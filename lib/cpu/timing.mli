@@ -32,6 +32,31 @@ val cycle : t -> int
     Returns the cycle its result is ready. *)
 val exec : t -> ready:int -> mem_lat:int -> Cost.uop array -> int
 
+(** Precompiled form of one μop: the static facts [exec] would re-derive
+    per dynamic instance (decoded port set, chaining, memory class). *)
+type uplan = {
+  up_lat : int;
+  up_ports : int array;  (** port indices decoded from the mask, ascending *)
+  up_rt : int;
+  up_chain : bool;
+  up_load : bool;
+  up_membus : bool;
+}
+
+(** Static cost plan of one instruction's μop sequence, compiled once by
+    the block engine. *)
+type plan =
+  | Pempty
+  | Palu1 of uplan  (** exactly one μop, no memory side *)
+  | Pseq of uplan array
+
+val plan_of_uops : Cost.uop array -> plan
+
+(** Bit-identical replay of [exec] over a precompiled plan: only the
+    dynamic residue (dispatch window, port contention, hit/miss latency,
+    miss-pipe serialization) is evaluated at run time. *)
+val exec_plan : t -> ready:int -> mem_lat:int -> plan -> int
+
 (** Branch misprediction: the front end restarts after the branch
     resolves, plus the flush penalty. *)
 val mispredict : t -> resolved:int -> unit

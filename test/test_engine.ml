@@ -1,9 +1,12 @@
-(* Engine equivalence: the closure-compiled engine must be bit-identical
-   to the reference interpreter — same wall cycles, per-thread counters,
-   output bytes, traps and fault-site streams — across every workload and
-   build flavour, with and without an armed injection.  Also checks that
-   restoring a mid-run snapshot and resuming reproduces the straight run
-   exactly (the soundness condition behind campaign fast-forward). *)
+(* Engine equivalence: the closure-compiled and block-fused engines must
+   be bit-identical to the reference interpreter — same wall cycles,
+   per-thread counters, output bytes, traps and fault-site streams —
+   across every workload and build flavour, with and without an armed
+   injection.  Also checks that restoring a mid-run snapshot and resuming
+   reproduces the straight run exactly (the soundness condition behind
+   campaign fast-forward), that the block tier deoptimizes armed fault
+   sites to per-instruction execution, and that its supervision hooks
+   keep quantum-boundary discipline. *)
 
 let builds =
   [
@@ -32,7 +35,7 @@ let check_result name (a : Cpu.Machine.result) (b : Cpu.Machine.result) =
   (* catch-all structural equality: counters lists, detect latency, ... *)
   if a <> b then Alcotest.failf "%s: results differ structurally" name
 
-(* every workload, every build flavour: reference == closure *)
+(* every workload, every build flavour: reference == closure == block *)
 let check_engines (w : Workloads.Workload.t) () =
   List.iter
     (fun b ->
@@ -40,9 +43,10 @@ let check_engines (w : Workloads.Workload.t) () =
         Workloads.Workload.execute ~machine_cfg:(cfg_with engine) w ~build:b ~nthreads:2
           ~size:Workloads.Workload.Tiny
       in
-      check_result
-        (w.Workloads.Workload.name ^ "/" ^ Elzar.build_name b)
-        (run Cpu.Machine.Reference) (run Cpu.Machine.Closure))
+      let name = w.Workloads.Workload.name ^ "/" ^ Elzar.build_name b in
+      let reference = run Cpu.Machine.Reference in
+      check_result name reference (run Cpu.Machine.Closure);
+      check_result (name ^ "/block") reference (run Cpu.Machine.Block))
     builds
 
 (* armed injections: the per-kind site streams and fault hooks must fire
@@ -61,11 +65,14 @@ let check_inject_engines () =
             { Cpu.Machine.default_config with Cpu.Machine.engine; inject; reexec_retries }
           w ~build:harden ~nthreads:2 ~size:Workloads.Workload.Tiny
       in
-      check_result
-        (Printf.sprintf "inject %s@%d/r%d"
-           (Cpu.Machine.fault_kind_to_string kind)
-           at reexec_retries)
-        (run Cpu.Machine.Reference) (run Cpu.Machine.Closure))
+      let name =
+        Printf.sprintf "inject %s@%d/r%d"
+          (Cpu.Machine.fault_kind_to_string kind)
+          at reexec_retries
+      in
+      let reference = run Cpu.Machine.Reference in
+      check_result name reference (run Cpu.Machine.Closure);
+      check_result (name ^ "/block") reference (run Cpu.Machine.Block))
     [
       (Cpu.Machine.Reg_flip, 5_000, 0);
       (Cpu.Machine.Reg_flip, 50_000, 0);
@@ -85,7 +92,9 @@ let check_count_sites () =
         { Cpu.Machine.default_config with Cpu.Machine.engine; count_inject_sites = true }
       w ~build:harden ~nthreads:2 ~size:Workloads.Workload.Tiny
   in
-  check_result "count-sites" (run Cpu.Machine.Reference) (run Cpu.Machine.Closure)
+  let reference = run Cpu.Machine.Reference in
+  check_result "count-sites" reference (run Cpu.Machine.Closure);
+  check_result "count-sites/block" reference (run Cpu.Machine.Block)
 
 (* snapshot/restore: resuming from any mid-run snapshot must reproduce the
    straight run bit-for-bit, under either engine *)
@@ -157,6 +166,136 @@ let check_campaign_fast_forward () =
         (off.Campaign.stats = on.Campaign.stats && off.Campaign.outcomes = on.Campaign.outcomes))
     [ Fault.Mem; Fault.Addr; Fault.Cf; Fault.Mixed ]
 
+(* campaigns under the block engine: the full report must be bit-identical
+   to a closure-engine campaign, for any worker count and fault model *)
+let check_block_campaign () =
+  let w = Workloads.Registry.find "linreg" in
+  let harden = Elzar.Hardened Elzar.Harden_config.default in
+  let spec = Workloads.Workload.fi_spec w ~build:harden () in
+  let bspec = { spec with Fault.engine = Cpu.Machine.Block } in
+  let base = Campaign.single ~seed:19 ~n:24 ~jobs:1 ~fast_forward:false spec in
+  List.iter
+    (fun jobs ->
+      let blk = Campaign.single ~seed:19 ~n:24 ~jobs ~fast_forward:true bspec in
+      Alcotest.(check bool)
+        (Printf.sprintf "block jobs=%d: same stats" jobs)
+        true
+        (blk.Campaign.stats = base.Campaign.stats);
+      Alcotest.(check bool)
+        (Printf.sprintf "block jobs=%d: same outcomes" jobs)
+        true
+        (blk.Campaign.outcomes = base.Campaign.outcomes))
+    [ 1; 2; 4 ];
+  List.iter
+    (fun model ->
+      let cl = Campaign.model_campaign ~seed:23 ~n:8 ~jobs:1 ~fast_forward:false ~model spec in
+      let bl = Campaign.model_campaign ~seed:23 ~n:8 ~jobs:2 ~fast_forward:true ~model bspec in
+      Alcotest.(check bool)
+        (Fault.model_to_string model ^ ": block report identical")
+        true
+        (cl.Campaign.stats = bl.Campaign.stats && cl.Campaign.outcomes = bl.Campaign.outcomes))
+    [ Fault.Mem; Fault.Addr; Fault.Cf; Fault.Mixed ]
+
+let count_fused (m : Cpu.Machine.t) =
+  Array.fold_left
+    (fun acc tbl ->
+      Array.fold_left (fun a b -> match b with Some _ -> a + 1 | None -> a) acc tbl)
+    0 m.Cpu.Machine.kblocks
+
+(* dedicated deoptimization check: arming a fault kind must deoptimize
+   exactly the blocks carrying its sites (strictly fewer fused blocks than
+   an unarmed build), and the armed site must fall back to per-instruction
+   execution and fire at the exact dynamic instruction — site streams,
+   injected class and detection latency identical to the reference
+   interpreter *)
+let check_block_deopt () =
+  let w = Workloads.Registry.find "hist" in
+  let harden = Elzar.Hardened Elzar.Harden_config.default in
+  let spec = Workloads.Workload.fi_spec w ~build:harden () in
+  let run_with cfg =
+    let m = Cpu.Machine.create ~cfg ~flags_cmp:spec.Fault.flags_cmp spec.Fault.modul in
+    spec.Fault.init m;
+    let r = Cpu.Machine.run ~args:spec.Fault.args m spec.Fault.entry in
+    (m, r)
+  in
+  let plain_cfg =
+    { Cpu.Machine.default_config with Cpu.Machine.engine = Cpu.Machine.Block }
+  in
+  let m_plain, _ = run_with plain_cfg in
+  let fused_plain = count_fused m_plain in
+  Alcotest.(check bool) "plain build fuses blocks" true (fused_plain > 0);
+  List.iter
+    (fun (kind, at) ->
+      let name = Cpu.Machine.fault_kind_to_string kind in
+      let inject = Some { Cpu.Machine.at; lane = 1; bit = 13; second = None; kind } in
+      let bcfg = { plain_cfg with Cpu.Machine.inject } in
+      let m_blk, r_blk = run_with bcfg in
+      let _, r_ref = run_with { bcfg with Cpu.Machine.engine = Cpu.Machine.Reference } in
+      (* the armed kind's site instructions leave their blocks deoptimized *)
+      if kind <> Cpu.Machine.Branch_flip then
+        Alcotest.(check bool)
+          (name ^ ": armed sites deoptimize blocks")
+          true
+          (count_fused m_blk < fused_plain);
+      Alcotest.(check bool) (name ^ ": fault fired") true r_ref.Cpu.Machine.fault_injected;
+      check_result ("deopt " ^ name) r_ref r_blk)
+    [
+      (Cpu.Machine.Reg_flip, 5_000);
+      (Cpu.Machine.Mem_flip, 2_000);
+      (Cpu.Machine.Addr_flip, 3_000);
+      (Cpu.Machine.Branch_flip, 1_000);
+    ]
+
+(* supervision boundary discipline under the block engine: the abort hook
+   is polled exactly once per scheduling quantum (not once per fused
+   block), the chaos hook fires exactly once per run, and a cooperative
+   abort still cuts the run short *)
+let check_block_supervision () =
+  let w = Workloads.Registry.find "hist" in
+  let harden = Elzar.Hardened Elzar.Harden_config.default in
+  let spec = Workloads.Workload.fi_spec w ~build:harden () in
+  let run_cfg cfg ~on_quantum =
+    let m = Cpu.Machine.create ~cfg ~flags_cmp:spec.Fault.flags_cmp spec.Fault.modul in
+    spec.Fault.init m;
+    Cpu.Machine.run ~args:spec.Fault.args ~on_quantum m spec.Fault.entry
+  in
+  let quanta = ref 0 and polls = ref 0 and chaos_fired = ref 0 in
+  let cfg =
+    {
+      Cpu.Machine.default_config with
+      Cpu.Machine.engine = Cpu.Machine.Block;
+      abort =
+        Some
+          (fun () ->
+            incr polls;
+            false);
+      chaos = Some (fun () -> incr chaos_fired);
+    }
+  in
+  let r = run_cfg cfg ~on_quantum:(fun _ -> incr quanta) in
+  Alcotest.(check (option string))
+    "no trap" None
+    (Option.map Cpu.Machine.string_of_trap r.Cpu.Machine.trap);
+  Alcotest.(check bool) "ran more than one quantum" true (!quanta > 1);
+  Alcotest.(check int) "chaos fired exactly once" 1 !chaos_fired;
+  Alcotest.(check int) "abort polled once per quantum" !quanta !polls;
+  let polls2 = ref 0 in
+  let abort_cfg =
+    {
+      cfg with
+      Cpu.Machine.abort =
+        Some
+          (fun () ->
+            incr polls2;
+            !polls2 >= 6);
+      chaos = None;
+    }
+  in
+  match run_cfg abort_cfg ~on_quantum:(fun _ -> ()) with
+  | (_ : Cpu.Machine.result) -> Alcotest.fail "abort hook did not raise under block engine"
+  | exception Cpu.Machine.Abort ->
+      Alcotest.(check int) "aborted at the sixth boundary" 6 !polls2
+
 let workload_cases =
   List.map
     (fun w ->
@@ -172,6 +311,13 @@ let tests =
         (check_snapshot_resume Cpu.Machine.Closure);
       Alcotest.test_case "snapshot resume (reference)" `Quick
         (check_snapshot_resume Cpu.Machine.Reference);
+      Alcotest.test_case "snapshot resume (block)" `Quick
+        (check_snapshot_resume Cpu.Machine.Block);
       Alcotest.test_case "campaign fast-forward bit-identical" `Quick
         check_campaign_fast_forward;
+      Alcotest.test_case "campaign under block engine bit-identical" `Quick
+        check_block_campaign;
+      Alcotest.test_case "block deopt at armed fault sites" `Quick check_block_deopt;
+      Alcotest.test_case "block supervision quantum discipline" `Quick
+        check_block_supervision;
     ]
